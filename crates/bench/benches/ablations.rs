@@ -1,0 +1,77 @@
+//! Criterion timing sweeps over the design choices DESIGN.md §7 calls out:
+//! chunk size, packet payload width and TPHS token parallelism. The quality
+//! side of the same ablations (compression ratios, latency deltas) is
+//! produced by `repro -- ablations`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meadow_dataflow::gemm::WeightFetch;
+use meadow_dataflow::tphs::{plan_allocation, stage_times, TphsParams};
+use meadow_models::synthetic::{generate_matrix, RedundancyProfile};
+use meadow_packing::{ChunkConfig, PackedWeights, PackingConfig, PackingLevel};
+use meadow_sim::ChipConfig;
+
+fn bench_chunk_size(c: &mut Criterion) {
+    let profile = RedundancyProfile { unique_chunks: 800, zipf_exponent: 1.15, mean_run_len: 12.0 };
+    let mut group = c.benchmark_group("ablation_chunk_size");
+    for chunk_elems in [1usize, 2, 4, 8] {
+        let w = generate_matrix(128, 768, profile, chunk_elems, 3).unwrap();
+        let cfg = PackingConfig {
+            chunk: ChunkConfig { chunk_elems },
+            ..PackingConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(chunk_elems), &cfg, |b, cfg| {
+            b.iter(|| PackedWeights::pack(&w, cfg, PackingLevel::FrequencyAware).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_payload_width(c: &mut Criterion) {
+    let profile = RedundancyProfile { unique_chunks: 800, zipf_exponent: 1.15, mean_run_len: 12.0 };
+    let w = generate_matrix(128, 768, profile, 2, 5).unwrap();
+    let mut group = c.benchmark_group("ablation_payload_width");
+    for payload_bits in [32u32, 64, 128, 256] {
+        let cfg = PackingConfig { payload_bits, ..PackingConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(payload_bits), &cfg, |b, cfg| {
+            b.iter(|| PackedWeights::pack(&w, cfg, PackingLevel::PacketSpecific).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tphs_planning(c: &mut Criterion) {
+    let chip = ChipConfig::zcu102();
+    let mut group = c.benchmark_group("ablation_tphs_planning");
+    for tokens in [64usize, 256, 512] {
+        let params = TphsParams {
+            d_model: 768,
+            heads: 12,
+            head_dim: 64,
+            tokens_new: tokens,
+            context: tokens,
+            wq: WeightFetch::raw(768 * 768),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(tokens), &params, |b, params| {
+            b.iter(|| {
+                let alloc = plan_allocation(&chip, params);
+                stage_times(&chip, params, &alloc)
+            });
+        });
+    }
+    group.finish();
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_chunk_size, bench_payload_width, bench_tphs_planning
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for the latency-model executors: how fast the
+//! simulator itself evaluates GEMM layers, TPHS pipelines and whole-model
+//! prefill/decode measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meadow_core::baselines::Baseline;
+use meadow_dataflow::schedule::{layer_latency, LayerParams, ScheduleKnobs};
+use meadow_dataflow::tphs::{tphs_attention_latency, TphsParams};
+use meadow_dataflow::gemm::WeightFetch;
+use meadow_dataflow::ExecutionPlan;
+use meadow_models::presets;
+use meadow_packing::{PackingConfig, WiluModule};
+use meadow_sim::{ChipConfig, ClockDomain, DramModel};
+
+fn bench_layer_latency(c: &mut Criterion) {
+    let cfg = presets::opt_125m();
+    let chip = ChipConfig::zcu102();
+    let mut group = c.benchmark_group("layer_latency");
+    for (name, plan) in [
+        ("gemm", ExecutionPlan::gemm_baseline()),
+        ("tphs", ExecutionPlan { attention: meadow_dataflow::AttentionDataflow::Tphs, packing: None }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| {
+                let mut dram = DramModel::with_bandwidth(12.0, ClockDomain::zcu102()).unwrap();
+                let params = LayerParams {
+                    config: &cfg,
+                    layer: 0,
+                    tokens_new: 512,
+                    context: 512,
+                    packing_stats: None,
+                    packing_config: PackingConfig::default(),
+                    knobs: ScheduleKnobs::default(),
+                };
+                layer_latency(&chip, &mut dram, plan, &params).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tphs_pipeline(c: &mut Criterion) {
+    let chip = ChipConfig::zcu102();
+    let mut group = c.benchmark_group("tphs_pipeline");
+    for tokens in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(tokens), &tokens, |b, &tokens| {
+            b.iter(|| {
+                let mut dram = DramModel::with_bandwidth(12.0, ClockDomain::zcu102()).unwrap();
+                let params = TphsParams {
+                    d_model: 768,
+                    heads: 12,
+                    head_dim: 64,
+                    tokens_new: tokens,
+                    context: tokens,
+                    wq: WeightFetch::raw(768 * 768),
+                };
+                tphs_attention_latency(&chip, &mut dram, &WiluModule::zcu102(), &params).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_measurements(c: &mut Criterion) {
+    let engine = Baseline::Gemm.engine(presets::opt_125m(), 12.0).unwrap();
+    c.bench_function("engine_prefill_512", |b| {
+        b.iter(|| engine.prefill_latency(512).unwrap());
+    });
+    c.bench_function("engine_decode_64", |b| {
+        b.iter(|| engine.decode_latency(512, 64).unwrap());
+    });
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_layer_latency, bench_tphs_pipeline, bench_engine_measurements
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for the numeric kernels: INT8 GEMM, softmax variants
+//! and the functional TPHS attention path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use meadow_dataflow::functional::{
+    attention_reference, attention_tphs_functional, AttentionProblem, AttentionScales,
+};
+use meadow_tensor::fixed::ExpLut;
+use meadow_tensor::gemm::{matmul_i8, matmul_i8_tiled};
+use meadow_tensor::softmax::{softmax_row_exact, softmax_row_lut, SoftmaxKind};
+use meadow_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<i8> = (0..rows * cols).map(|_| rng.gen_range(-64..=64)).collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = random_matrix(128, 256, 1);
+    let b = random_matrix(256, 128, 2);
+    let macs = (128 * 256 * 128) as u64;
+    let mut group = c.benchmark_group("int8_gemm");
+    group.throughput(Throughput::Elements(macs));
+    group.bench_function("reference", |bch| {
+        bch.iter(|| matmul_i8(&a, &b).unwrap());
+    });
+    for tile in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("tiled", tile), &tile, |bch, &t| {
+            bch.iter(|| matmul_i8_tiled(&a, &b, t, t, t).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let row: Vec<f32> = (0..512).map(|_| rng.gen_range(-8.0..8.0)).collect();
+    let lut = ExpLut::hardware_default();
+    let mut group = c.benchmark_group("softmax_512");
+    group.bench_function("exact", |b| {
+        b.iter(|| softmax_row_exact(&row));
+    });
+    group.bench_function("lut", |b| {
+        b.iter(|| softmax_row_lut(&row, &lut));
+    });
+    group.finish();
+}
+
+fn bench_functional_attention(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (t, ctx, d, heads) = (32, 32, 64, 4);
+    let mut mat = |rows: usize, cols: usize| {
+        let data: Vec<i8> = (0..rows * cols).map(|_| rng.gen_range(-40..=40)).collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    };
+    let p = AttentionProblem {
+        x: mat(t, d),
+        wq: mat(d, d),
+        k_cache: mat(ctx, d),
+        v_cache: mat(ctx, d),
+        heads,
+        scales: AttentionScales::default(),
+        softmax: SoftmaxKind::Exact,
+    };
+    let lut = ExpLut::hardware_default();
+    let mut group = c.benchmark_group("functional_attention");
+    group.bench_function("gemm_reference", |b| {
+        b.iter(|| attention_reference(&p, &lut).unwrap());
+    });
+    group.bench_function("tphs", |b| {
+        b.iter(|| attention_tphs_functional(&p, 8, &lut).unwrap());
+    });
+    group.finish();
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_gemm, bench_softmax, bench_functional_attention
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the weight-packing pipeline: pack and WILU-unpack
+//! throughput at each optimization level, and the re-indexing pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use meadow_models::synthetic::{generate_matrix, RedundancyProfile};
+use meadow_packing::reindex::frequency_reindex;
+use meadow_packing::{chunk, ChunkConfig, PackedWeights, PackingConfig, PackingLevel, WiluModule};
+
+fn anchor_matrix() -> meadow_tensor::Matrix<i8> {
+    // A 384x768 slice with the OPT-125M MLP1 redundancy character.
+    let profile =
+        RedundancyProfile { unique_chunks: 1272, zipf_exponent: 1.18, mean_run_len: 16.0 };
+    generate_matrix(384, 768, profile, 2, 42).expect("generation is infallible here")
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let w = anchor_matrix();
+    let bytes = (w.rows() * w.cols()) as u64;
+    let mut group = c.benchmark_group("pack");
+    group.throughput(Throughput::Bytes(bytes));
+    for level in PackingLevel::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{level:?}")), &level, |b, &level| {
+            b.iter(|| PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_unpack(c: &mut Criterion) {
+    let w = anchor_matrix();
+    let bytes = (w.rows() * w.cols()) as u64;
+    let wilu = WiluModule::zcu102();
+    let mut group = c.benchmark_group("wilu_unpack");
+    group.throughput(Throughput::Bytes(bytes));
+    for level in PackingLevel::all() {
+        let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{level:?}")), &packed, |b, packed| {
+            b.iter(|| wilu.execute(packed).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose_and_reindex(c: &mut Criterion) {
+    let w = anchor_matrix();
+    c.bench_function("decompose", |b| {
+        b.iter(|| chunk::decompose(&w, ChunkConfig::default()).unwrap());
+    });
+    let (unique, encoded) = chunk::decompose(&w, ChunkConfig::default()).unwrap();
+    c.bench_function("frequency_reindex", |b| {
+        b.iter(|| frequency_reindex(&unique, &encoded).unwrap());
+    });
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_pack, bench_unpack, bench_decompose_and_reindex
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Regenerates every table and figure of the MEADOW paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p meadow-bench --bin repro -- all
+//! cargo run --release -p meadow-bench --bin repro -- fig6 fig7
+//! cargo run --release -p meadow-bench --bin repro -- --list
+//! ```
+//!
+//! Each artifact is printed as an aligned table (with the paper's claim for
+//! side-by-side comparison) and written as CSV under `target/repro/`.
+
+use meadow_bench::{
+    ablations, default_out_dir, figs_design, figs_latency, figs_packing, Artifact, ReproContext,
+};
+use meadow_core::CoreError;
+use std::process::ExitCode;
+
+type Generator = fn(&ReproContext) -> Result<Artifact, CoreError>;
+
+const GENERATORS: &[(&str, Generator)] = &[
+    ("table1", figs_design::table1 as Generator),
+    ("fig1b", figs_latency::fig1b),
+    ("fig1c", figs_latency::fig1c),
+    ("fig4a", figs_packing::fig4a),
+    ("fig6", figs_latency::fig6),
+    ("fig7", figs_latency::fig7),
+    ("fig8", figs_latency::fig8),
+    ("fig9", figs_latency::fig9),
+    ("fig10a", figs_packing::fig10a),
+    ("fig10bc", figs_packing::fig10bc),
+    ("fig11", figs_latency::fig11),
+    ("fig12a", figs_design::fig12a),
+    ("fig12b", figs_design::fig12b),
+    ("fig13", figs_design::fig13),
+    ("lossless", figs_packing::lossless),
+    ("ablation_chunk", ablations::ablation_chunk),
+    ("ablation_payload", ablations::ablation_payload),
+    ("ablation_parallelism", ablations::ablation_parallelism),
+    ("ablation_overlap", ablations::ablation_overlap),
+    ("ablation_zipf", ablations::ablation_zipf),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in GENERATORS {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&(&str, Generator)> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        GENERATORS.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            match GENERATORS.iter().find(|(name, _)| name == a) {
+                Some(g) => sel.push(g),
+                None => {
+                    eprintln!("unknown artifact `{a}`; use --list to see options");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+    let out_dir = default_out_dir();
+    let ctx = ReproContext::new();
+    // Artifacts are independent; regenerate them in parallel and print in
+    // the selection order.
+    let results: Vec<(&str, Result<Artifact, CoreError>)> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = selected
+                .iter()
+                .map(|(name, generator)| {
+                    let ctx = &ctx;
+                    (*name, scope.spawn(move |_| generator(ctx)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(name, h)| (name, h.join().expect("generator must not panic")))
+                .collect()
+        })
+        .expect("scope must not panic");
+    let mut failures = 0;
+    for (name, result) in results {
+        println!("==================================================================");
+        println!("=== {name}");
+        match result {
+            Ok(artifact) => {
+                println!("PAPER: {}", artifact.paper_claim);
+                println!();
+                print!("{}", artifact.table);
+                for note in &artifact.notes {
+                    println!("MEASURED: {note}");
+                }
+                let path = artifact.csv_path(&out_dir);
+                match artifact.table.write_csv(&path) {
+                    Ok(()) => println!("(csv written to {})", path.display()),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        failures += 1;
+                    }
+                }
+                println!();
+            }
+            Err(e) => {
+                eprintln!("{name} FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,189 @@
+//! Design-space artifacts: Table 1, Fig. 12a (dataflow choice grid),
+//! Fig. 12b (rooflines) and Fig. 13 (ViT latency).
+
+use crate::{Artifact, ReproContext};
+use meadow_core::planner::{dataflow_grid, paper_grid_axes};
+use meadow_core::report::{fmt_ms, fmt_speedup, Table};
+use meadow_core::roofline::{attention_roofline_point, RooflineModel};
+use meadow_core::vit::vit_speedup;
+use meadow_core::CoreError;
+use meadow_dataflow::AttentionDataflow;
+use meadow_models::presets;
+use meadow_packing::PackingConfig;
+use meadow_sim::ChipConfig;
+
+/// Table 1: the hardware parameters of the evaluated tile.
+///
+/// # Errors
+///
+/// Infallible in practice; typed for harness uniformity.
+pub fn table1(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let c = ChipConfig::zcu102();
+    let mut table = Table::new(["parameter", "value"]);
+    table.row(["#Parallel & #Broadcasting PEs", &format!("{}, {}", c.parallel_pes, c.broadcasting_pes)]);
+    table.row(["#Multipliers per PE", &c.pe_geometry.multipliers.to_string()]);
+    table.row([
+        "#SM, #LN & #ReLU Modules",
+        &format!("{}, {}, {}", c.sm_modules, c.ln_modules, c.nl_modules),
+    ]);
+    table.row([
+        "Weight, Input & Output BRAM Size",
+        &format!(
+            "{} MB, {} MB, {} MB",
+            c.weight_bram_bytes >> 20,
+            c.input_bram_bytes >> 20,
+            c.output_bram_bytes >> 20
+        ),
+    ]);
+    table.row(["Weight, Input & Output RF Size", &format!("{} KB each", c.rf_bytes >> 10)]);
+    table.row(["Clock Frequency", "100 MHz"]);
+    Ok(Artifact {
+        id: "table1",
+        paper_claim: "84 parallel + 12 broadcasting PEs, 64 multipliers/PE, 84/8/8 SM/LN/ReLU modules, 1 MB BRAMs, 4 KB RFs, 100 MHz",
+        table,
+        notes: vec![format!("peak throughput: {:.1} GMAC/s", c.peak_gmacs_per_sec())],
+    })
+}
+
+/// Fig. 12a: optimal dataflow for the `Q+SM(QKᵀ)·V` layers over the
+/// (bandwidth × PE) grid, with the attention-chain latency of each choice.
+///
+/// # Errors
+///
+/// Propagates planner errors.
+pub fn fig12a(ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let model = presets::opt_125m();
+    let stats = ctx.stats_for(&model)?;
+    let (bws, pes) = paper_grid_axes();
+    let grid =
+        dataflow_grid(&model, Some(&stats), PackingConfig::default(), &bws, &pes, 512)?;
+    let mut table =
+        Table::new(["bandwidth_gbps", "total_pes", "gemm_ms", "tphs_ms", "chosen", "best_ms"]);
+    let mut notes = Vec::new();
+    for e in &grid {
+        table.row([
+            format!("{}", e.bandwidth_gbps),
+            e.total_pes.to_string(),
+            fmt_ms(e.gemm_ms),
+            fmt_ms(e.tphs_ms),
+            match e.best {
+                AttentionDataflow::Gemm => "GEMM".to_string(),
+                AttentionDataflow::Tphs => "TPHS".to_string(),
+            },
+            fmt_ms(e.best_ms()),
+        ]);
+    }
+    let gemm_points: Vec<String> = grid
+        .iter()
+        .filter(|e| e.best == AttentionDataflow::Gemm)
+        .map(|e| format!("(BW {}, PE {})", e.bandwidth_gbps, e.total_pes))
+        .collect();
+    notes.push(format!("GEMM chosen at: {}", gemm_points.join(", ")));
+    Ok(Artifact {
+        id: "fig12a",
+        paper_claim: "GEMM is optimal at high bandwidth (51 Gbps); TPHS at low-bandwidth configurations",
+        table,
+        notes,
+    })
+}
+
+/// Fig. 12b: roofline operating points for the four corner configurations
+/// (BW, PE) ∈ {1, 51} × {14, 96}.
+///
+/// # Errors
+///
+/// Propagates roofline errors.
+pub fn fig12b(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let model = presets::opt_125m();
+    let mut table = Table::new([
+        "bandwidth_gbps",
+        "total_pes",
+        "dataflow",
+        "intensity_macs_per_byte",
+        "achieved_gmacs",
+        "roof_gmacs",
+        "knee_intensity",
+    ]);
+    let mut notes = Vec::new();
+    for (bw, pes) in [(1.0, 14), (1.0, 96), (51.0, 14), (51.0, 96)] {
+        let chip = ChipConfig::zcu102_with_total_pes(pes);
+        let roofline = RooflineModel::new(&chip, bw);
+        for df in [AttentionDataflow::Gemm, AttentionDataflow::Tphs] {
+            let p = attention_roofline_point(&model, &chip, bw, df, 512)?;
+            table.row([
+                format!("{bw}"),
+                pes.to_string(),
+                p.name.clone(),
+                format!("{:.1}", p.operational_intensity),
+                format!("{:.1}", p.achieved_gmacs),
+                format!("{:.1}", roofline.roof_at(p.operational_intensity)),
+                format!("{:.1}", roofline.knee()),
+            ]);
+        }
+        notes.push(format!(
+            "(BW {bw}, PE {pes}): peak {:.1} GMAC/s, memory roof knee at {:.1} MACs/B",
+            roofline.peak_gmacs,
+            roofline.knee()
+        ));
+    }
+    Ok(Artifact {
+        id: "fig12b",
+        paper_claim: "TPHS sits at much higher operational intensity than GEMM; at 51 Gbps GEMM leaves the memory-bound region",
+        table,
+        notes,
+    })
+}
+
+/// Fig. 13: DeiT-S and DeiT-B inference latency, MEADOW vs GEMM, across
+/// bandwidths.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig13(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let mut table =
+        Table::new(["model", "bandwidth_gbps", "gemm_ms", "meadow_ms", "speedup"]);
+    let mut notes = Vec::new();
+    for model in [presets::deit_s(), presets::deit_b()] {
+        let mut extremes: Vec<f64> = Vec::new();
+        for bw in [1.0, 3.0, 6.0, 12.0] {
+            let c = vit_speedup(&model, bw)?;
+            table.row([
+                c.model.clone(),
+                format!("{bw}"),
+                fmt_ms(c.gemm_ms),
+                fmt_ms(c.meadow_ms),
+                fmt_speedup(c.speedup),
+            ]);
+            extremes.push(c.speedup);
+        }
+        let min = extremes.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = extremes.iter().copied().fold(0.0, f64::max);
+        notes.push(format!("{}: speedup range {min:.2}x – {max:.2}x", model.name));
+    }
+    Ok(Artifact {
+        id: "fig13",
+        paper_claim: "DeiT-S / DeiT-B: 1.5-1.6x lower inference latency vs GEMM across bandwidths",
+        table,
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let a = table1(&ReproContext::new()).unwrap();
+        let text = a.table.to_string();
+        assert!(text.contains("84, 12"));
+        assert!(text.contains("100 MHz"));
+    }
+
+    #[test]
+    fn fig12b_has_eight_points() {
+        let a = fig12b(&ReproContext::new()).unwrap();
+        assert_eq!(a.table.len(), 8);
+    }
+}

@@ -1,0 +1,229 @@
+//! Packing figures: Fig. 4a (reduction ratios), Fig. 10 (packing ablation
+//! and chunk-ID histograms) and the §6.1 lossless-ness check.
+
+use crate::{Artifact, ReproContext};
+use meadow_core::accuracy::verify_model_lossless;
+use meadow_core::report::{fmt_speedup, Table};
+use meadow_core::CoreError;
+use meadow_models::synthetic::{generate_decomposition, matrix_seed, profile_for};
+use meadow_models::{presets, MatrixKind};
+use meadow_packing::chunk::reduction_ratio;
+use meadow_packing::reindex::frequency_reindex;
+use meadow_packing::stats::IdHistogram;
+use meadow_packing::{PackedWeights, PackingConfig, PackingLevel};
+use meadow_sim::{ClockDomain, DramModel, TrafficClass};
+
+/// Fig. 4a: reduction-ratio trends across decoder layers for OPT-125M and
+/// OPT-1.3B (per-layer average over the six weight matrices).
+///
+/// # Errors
+///
+/// Propagates statistics errors.
+pub fn fig4a(ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let mut table = Table::new(["model", "layer", "avg_reduction_ratio", "min", "max"]);
+    let mut notes = Vec::new();
+    for model in [presets::opt_125m(), presets::opt_1_3b()] {
+        let stats = ctx.stats_for(&model)?;
+        let mut model_lo = f64::INFINITY;
+        let mut model_hi = 0.0_f64;
+        for layer in 0..model.layers {
+            let ratios: Vec<f64> = MatrixKind::all()
+                .iter()
+                .filter_map(|&k| stats.matrix(layer, k))
+                .map(|s| s.reduction_ratio)
+                .collect();
+            let avg = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+            let lo = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = ratios.iter().copied().fold(0.0, f64::max);
+            model_lo = model_lo.min(lo);
+            model_hi = model_hi.max(hi);
+            table.row([
+                model.name.clone(),
+                layer.to_string(),
+                format!("{avg:.1}"),
+                format!("{lo:.1}"),
+                format!("{hi:.1}"),
+            ]);
+        }
+        notes.push(format!(
+            "{}: reduction ratios span {:.0} – {:.0} (paper: order 10^2 to 10^3)",
+            model.name, model_lo, model_hi
+        ));
+    }
+    Ok(Artifact {
+        id: "fig4a",
+        paper_claim: "decoder-weight reduction ratios vary in the order of 10^2 to 10^3",
+        table,
+        notes,
+    })
+}
+
+/// Fig. 10a: weight-transfer latency under the three packing optimizations
+/// for the first MLP matrix of decoder 1 of OPT-125M (the paper's anchor:
+/// 1272 unique chunks, 11-bit IDs; naive 1.4x, packet-specific 1.54x,
+/// frequency-aware 2.63x).
+///
+/// # Errors
+///
+/// Propagates generation and packing errors.
+pub fn fig10a(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let model = presets::opt_125m();
+    let kind = MatrixKind::MlpUp;
+    let (rows, cols) = model.matrix_dims(kind);
+    let profile = profile_for(&model, kind, 0);
+    let seed = matrix_seed(&model, kind, 0);
+    let packing = PackingConfig::default();
+    let (unique, encoded) =
+        generate_decomposition(rows, cols, profile, packing.chunk.chunk_elems, seed)
+            .map_err(CoreError::from)?;
+    let raw_bytes = (rows * cols) as u64;
+    let clock = ClockDomain::zcu102();
+    let mut table =
+        Table::new(["scheme", "unique_chunks", "id_bits", "transfer_bytes", "cycles@12Gbps", "speedup_vs_raw"]);
+    let mut dram = DramModel::with_bandwidth(12.0, clock)?;
+    let raw_cycles = dram.transfer(TrafficClass::WeightFetch, raw_bytes);
+    table.row([
+        "raw (no packing)".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        raw_bytes.to_string(),
+        raw_cycles.get().to_string(),
+        "1.00x".to_string(),
+    ]);
+    let mut notes = Vec::new();
+    for level in PackingLevel::all() {
+        let packed = PackedWeights::from_decomposition(
+            unique.clone(),
+            encoded.clone(),
+            &packing,
+            level,
+        )?;
+        let mut dram = DramModel::with_bandwidth(12.0, clock)?;
+        let cycles = dram.transfer(TrafficClass::WeightFetch, packed.transfer_bytes());
+        let speedup = raw_cycles.get() as f64 / cycles.get().max(1) as f64;
+        let name = match level {
+            PackingLevel::Naive => "indexing + naive packing",
+            PackingLevel::PacketSpecific => "indexing + packet-specific precision",
+            PackingLevel::FrequencyAware => "freq-aware reindex + packet-specific",
+        };
+        table.row([
+            name.to_string(),
+            packed.meta().unique_count.to_string(),
+            packed.meta().max_id_bits.to_string(),
+            packed.transfer_bytes().to_string(),
+            cycles.get().to_string(),
+            fmt_speedup(speedup),
+        ]);
+        notes.push(format!("{name}: {:.2}x lower transfer latency", speedup));
+    }
+    Ok(Artifact {
+        id: "fig10a",
+        paper_claim: "MLP1 of decoder 1: 1272 unique chunks / 11-bit IDs; naive 1.4x, packet-specific 1.54x, freq-aware 2.63x",
+        table,
+        notes,
+    })
+}
+
+/// Figs. 10b/10c: histograms of chunk-ID occurrences before and after
+/// frequency-aware re-indexing for the same anchor matrix.
+///
+/// # Errors
+///
+/// Propagates generation errors.
+pub fn fig10bc(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let model = presets::opt_125m();
+    let kind = MatrixKind::MlpUp;
+    let (rows, cols) = model.matrix_dims(kind);
+    let profile = profile_for(&model, kind, 0);
+    let seed = matrix_seed(&model, kind, 0);
+    let (unique, encoded) =
+        generate_decomposition(rows, cols, profile, 2, seed).map_err(CoreError::from)?;
+    let bins = 16;
+    let before = IdHistogram::new(&encoded, unique.len(), bins);
+    let re = frequency_reindex(&unique, &encoded)?;
+    let after = IdHistogram::new(&re.encoded, re.unique.len(), bins);
+    let mut table = Table::new(["bin_start_id", "count_before_reindex", "count_after_reindex"]);
+    for i in 0..bins {
+        table.row([
+            before.bin_edges[i].to_string(),
+            before.counts[i].to_string(),
+            after.counts[i].to_string(),
+        ]);
+    }
+    let notes = vec![
+        format!(
+            "head-bin mass before: {:.1}%, after: {:.1}% (re-indexing concentrates IDs near zero)",
+            before.head_mass(1) * 100.0,
+            after.head_mass(1) * 100.0
+        ),
+        format!("reduction ratio of the matrix: {:.0}", reduction_ratio(&unique, &encoded)),
+    ];
+    Ok(Artifact {
+        id: "fig10bc",
+        paper_claim: "before re-indexing, frequent chunk IDs are scattered across the range; after, occurrences concentrate at low IDs",
+        table,
+        notes,
+    })
+}
+
+/// §6.1 accuracy stand-in: bit-exact pack→unpack round trips over the whole
+/// OPT-125M weight set (row-capped for time) at every packing level.
+///
+/// # Errors
+///
+/// Propagates generation and packing errors.
+pub fn lossless(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let mut table = Table::new(["model", "matrices_checked", "all_bit_exact"]);
+    let mut notes = Vec::new();
+    for (model, cap) in [(presets::opt_125m(), 256), (presets::tiny_decoder(), usize::MAX)] {
+        let report = verify_model_lossless(&model, &PackingConfig::default(), cap)?;
+        table.row([
+            report.model.clone(),
+            report.matrices_checked.to_string(),
+            report.all_exact.to_string(),
+        ]);
+        notes.push(format!(
+            "{}: {} round trips, all bit-exact: {}",
+            report.model, report.matrices_checked, report.all_exact
+        ));
+        assert!(report.all_exact, "lossless check failed: {:?}", report.failures);
+    }
+    Ok(Artifact {
+        id: "lossless",
+        paper_claim: "weight packing is approximation-less: W8A8 accuracy (60.7% / 69.7% LAMBADA) is unchanged because reconstruction is exact",
+        table,
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10a_lands_in_paper_bands() {
+        let ctx = ReproContext::new();
+        let a = fig10a(&ctx).unwrap();
+        assert_eq!(a.table.len(), 4);
+        // Parse the speedups out of the notes.
+        let get = |i: usize| -> f64 {
+            let n = &a.notes[i];
+            n.split(':').nth(1).unwrap().trim().split('x').next().unwrap().parse().unwrap()
+        };
+        let naive = get(0);
+        let packet = get(1);
+        let freq = get(2);
+        assert!((1.25..=1.55).contains(&naive), "naive {naive}");
+        assert!((1.35..=1.75).contains(&packet), "packet {packet}");
+        assert!((2.2..=3.0).contains(&freq), "freq {freq}");
+        assert!(naive < packet && packet < freq);
+    }
+
+    #[test]
+    fn fig10bc_shows_concentration() {
+        let ctx = ReproContext::new();
+        let a = fig10bc(&ctx).unwrap();
+        assert_eq!(a.table.len(), 16);
+        assert!(a.notes[0].contains("after"));
+    }
+}

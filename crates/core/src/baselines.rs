@@ -1,0 +1,179 @@
+//! Prior-work execution models of §6.4 / Table 2, re-implemented on the
+//! MEADOW architecture exactly as the paper does for its comparison.
+//!
+//! | Work | KV/Proj/MLP | Q, SM(QKᵀ)·V | Quant | Weight packing |
+//! |---|---|---|---|---|
+//! | CTA | GEMM | GEMM (compressed tokens) | W8A8 | ✗ |
+//! | FlightLLM | GEMM (N:M sparse compute) | GEMM (on-chip decode intermediates) | W8A8 | ✗ |
+//! | MEADOW | GEMM (packed) | TPHS (packed) | W8A8 | ✓ |
+//!
+//! CTA's token compression processes only the essential fraction of tokens
+//! in the attention chain but still round-trips the surviving intermediates
+//! through DRAM. FlightLLM's N:M sparsity halves matmul compute and keeps
+//! decode-time attention intermediates on chip, but fetches dense weights
+//! and leaves prefill intermediate traffic unoptimized.
+
+use crate::engine::{EngineConfig, MeadowEngine};
+use crate::error::CoreError;
+use meadow_dataflow::schedule::ScheduleKnobs;
+use meadow_dataflow::ExecutionPlan;
+use meadow_models::TransformerConfig;
+use serde::{Deserialize, Serialize};
+
+/// The systems compared in Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Baseline {
+    /// Plain GEMM execution of every layer (the paper's primary baseline).
+    Gemm,
+    /// CTA (Wang et al., HPCA 2023): compressed token attention.
+    Cta {
+        /// Fraction of tokens kept as "essential" (the paper's CTA setting
+        /// retains roughly half the tokens).
+        keep_ratio: f64,
+    },
+    /// FlightLLM (Zeng et al., FPGA 2024): N:M sparse acceleration.
+    FlightLlm {
+        /// Non-zeros per group (N of N:M).
+        n: u32,
+        /// Group size (M of N:M).
+        m: u32,
+    },
+    /// MEADOW (this paper).
+    Meadow,
+}
+
+impl Baseline {
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::Gemm => "GEMM",
+            Baseline::Cta { .. } => "CTA",
+            Baseline::FlightLlm { .. } => "FlightLLM",
+            Baseline::Meadow => "MEADOW",
+        }
+    }
+
+    /// The paper's comparison set with its published settings: CTA keeping
+    /// half the tokens, FlightLLM at 2:4 sparsity, and MEADOW.
+    pub fn comparison_set() -> [Baseline; 4] {
+        [
+            Baseline::Gemm,
+            Baseline::Cta { keep_ratio: 0.5 },
+            Baseline::FlightLlm { n: 2, m: 4 },
+            Baseline::Meadow,
+        ]
+    }
+
+    /// Builds the engine configuration implementing this baseline on the
+    /// given model and bandwidth (Table 2 settings).
+    pub fn engine_config(&self, model: TransformerConfig, bandwidth_gbps: f64) -> EngineConfig {
+        let base = EngineConfig::zcu102(model, bandwidth_gbps);
+        match *self {
+            Baseline::Gemm => EngineConfig { plan: ExecutionPlan::gemm_baseline(), ..base },
+            Baseline::Cta { keep_ratio } => EngineConfig {
+                plan: ExecutionPlan::gemm_baseline(),
+                knobs: ScheduleKnobs {
+                    attention_token_scale: keep_ratio.clamp(0.0, 1.0),
+                    ..ScheduleKnobs::default()
+                },
+                ..base
+            },
+            Baseline::FlightLlm { n, m } => EngineConfig {
+                plan: ExecutionPlan::gemm_baseline(),
+                knobs: ScheduleKnobs {
+                    weight_compute_scale: f64::from(n) / f64::from(m.max(1)),
+                    onchip_decode_intermediates: true,
+                    ..ScheduleKnobs::default()
+                },
+                ..base
+            },
+            Baseline::Meadow => base,
+        }
+    }
+
+    /// Builds a ready engine for this baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction errors.
+    pub fn engine(
+        &self,
+        model: TransformerConfig,
+        bandwidth_gbps: f64,
+    ) -> Result<MeadowEngine, CoreError> {
+        MeadowEngine::new(self.engine_config(model, bandwidth_gbps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meadow_models::presets;
+
+    #[test]
+    fn names_and_set() {
+        let set = Baseline::comparison_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set[0].name(), "GEMM");
+        assert_eq!(set[3].name(), "MEADOW");
+    }
+
+    #[test]
+    fn cta_prefill_is_faster_than_gemm_but_slower_than_meadow() {
+        let model = presets::opt_125m();
+        let gemm = Baseline::Gemm.engine(model.clone(), 12.0).unwrap();
+        let cta = Baseline::Cta { keep_ratio: 0.5 }.engine(model.clone(), 12.0).unwrap();
+        let meadow = Baseline::Meadow.engine(model, 12.0).unwrap();
+        let g = gemm.prefill_latency(512).unwrap().total_ms();
+        let c = cta.prefill_latency(512).unwrap().total_ms();
+        let m = meadow.prefill_latency(512).unwrap().total_ms();
+        assert!(c < g, "CTA {c} !< GEMM {g}");
+        assert!(m < c, "MEADOW {m} !< CTA {c}");
+    }
+
+    #[test]
+    fn flightllm_decode_beats_gemm_but_meadow_wins() {
+        let model = presets::opt_125m();
+        let gemm = Baseline::Gemm.engine(model.clone(), 12.0).unwrap();
+        let fl = Baseline::FlightLlm { n: 2, m: 4 }.engine(model.clone(), 12.0).unwrap();
+        let meadow = Baseline::Meadow.engine(model, 12.0).unwrap();
+        let g = gemm.decode_latency(512, 64).unwrap().total_ms();
+        let f = fl.decode_latency(512, 64).unwrap().total_ms();
+        let m = meadow.decode_latency(512, 64).unwrap().total_ms();
+        assert!(f <= g, "FlightLLM {f} !<= GEMM {g}");
+        assert!(m < f, "MEADOW {m} !< FlightLLM {f}");
+    }
+
+    #[test]
+    fn meadow_end_to_end_improvement_is_substantial() {
+        // §6.4 claims "over 40%" end-to-end improvement vs FlightLLM and
+        // CTA on OPT-125M; this substrate reproduces 27-40% depending on
+        // bandwidth/workload mix (recorded in EXPERIMENTS.md). Assert the
+        // floor here; the calibration integration test pins the bands.
+        let model = presets::opt_125m();
+        let meadow = Baseline::Meadow.engine(model.clone(), 12.0).unwrap();
+        let m = meadow.end_to_end_latency(512, 64).unwrap().total_ms;
+        for baseline in [Baseline::Cta { keep_ratio: 0.5 }, Baseline::FlightLlm { n: 2, m: 4 }] {
+            let other = baseline.engine(model.clone(), 12.0).unwrap();
+            let o = other.end_to_end_latency(512, 64).unwrap().total_ms;
+            let improvement = (o - m) / o;
+            assert!(
+                improvement > 0.25,
+                "{}: improvement {improvement:.2} (MEADOW {m:.1} ms vs {o:.1} ms)",
+                baseline.name()
+            );
+        }
+    }
+
+    #[test]
+    fn flightllm_sparsity_reduces_compute() {
+        let model = presets::tiny_decoder();
+        let dense = Baseline::Gemm.engine(model.clone(), 12.0).unwrap();
+        let sparse = Baseline::FlightLlm { n: 2, m: 4 }.engine(model, 12.0).unwrap();
+        let d = dense.prefill_latency(16).unwrap();
+        let s = sparse.prefill_latency(16).unwrap();
+        let (_, dc, _) = d.components();
+        let (_, sc, _) = s.components();
+        assert!(sc < dc, "sparse compute {sc} !< dense {dc}");
+    }
+}

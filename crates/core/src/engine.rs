@@ -1,0 +1,391 @@
+//! The MEADOW engine: TTFT / TBT / end-to-end latency measurement.
+
+use crate::error::CoreError;
+use meadow_dataflow::schedule::ScheduleKnobs;
+use meadow_dataflow::{ExecutionPlan, LayerLatency};
+use meadow_models::weights::ModelPackingStats;
+use meadow_models::workload::{DecodeWorkload, PrefillWorkload};
+use meadow_models::{ModelKind, TransformerConfig};
+use meadow_packing::PackingConfig;
+use meadow_sim::energy::{ActivityCounts, EnergyModel, PowerReport};
+use meadow_sim::{ChipConfig, ClockDomain, Cycles, DramModel, TrafficLedger};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one engine instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Accelerator tile description.
+    pub chip: ChipConfig,
+    /// Model architecture.
+    pub model: TransformerConfig,
+    /// Off-chip DRAM bandwidth in Gbps.
+    pub bandwidth_gbps: f64,
+    /// Execution plan (dataflow + packing level).
+    pub plan: ExecutionPlan,
+    /// Packing configuration.
+    pub packing_config: PackingConfig,
+    /// Baseline-modeling knobs (identity for GEMM and MEADOW).
+    pub knobs: ScheduleKnobs,
+}
+
+impl EngineConfig {
+    /// Full MEADOW on the ZCU102 at the given bandwidth.
+    pub fn zcu102(model: TransformerConfig, bandwidth_gbps: f64) -> Self {
+        Self {
+            chip: ChipConfig::zcu102(),
+            model,
+            bandwidth_gbps,
+            plan: ExecutionPlan::meadow(),
+            packing_config: PackingConfig::default(),
+            knobs: ScheduleKnobs::default(),
+        }
+    }
+
+    /// The paper's GEMM baseline on the ZCU102.
+    pub fn gemm_baseline(model: TransformerConfig, bandwidth_gbps: f64) -> Self {
+        Self { plan: ExecutionPlan::gemm_baseline(), ..Self::zcu102(model, bandwidth_gbps) }
+    }
+}
+
+/// Latency measurement of one prefill or decode step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Total wall-clock cycles.
+    pub cycles: Cycles,
+    /// Clock domain for time conversion.
+    pub clock: ClockDomain,
+    /// Per-layer latencies with op breakdowns.
+    pub layers: Vec<LayerLatency>,
+    /// DRAM traffic ledger for the whole measurement.
+    pub ledger: TrafficLedger,
+}
+
+impl LatencyReport {
+    /// Total latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.clock.to_ms(self.cycles)
+    }
+
+    /// Component totals across all layers (fetch, compute, store).
+    pub fn components(&self) -> (Cycles, Cycles, Cycles) {
+        (
+            self.layers.iter().map(LayerLatency::fetch).sum(),
+            self.layers.iter().map(LayerLatency::compute).sum(),
+            self.layers.iter().map(LayerLatency::store).sum(),
+        )
+    }
+}
+
+/// End-to-end latency (TTFT + all TBTs) of a full generation request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EndToEndReport {
+    /// Time to first token in milliseconds.
+    pub ttft_ms: f64,
+    /// Total decode time in milliseconds.
+    pub decode_ms: f64,
+    /// Number of generated tokens.
+    pub generated_tokens: usize,
+    /// Total request latency in milliseconds.
+    pub total_ms: f64,
+}
+
+/// The MEADOW engine.
+///
+/// Construction precomputes per-matrix packing statistics when the plan
+/// packs weights; measurements are then pure functions of the workload.
+///
+/// # Example
+///
+/// ```
+/// use meadow_core::{EngineConfig, MeadowEngine};
+/// use meadow_models::presets;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0))?;
+/// let ttft = engine.prefill_latency(16)?;
+/// assert!(ttft.total_ms() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeadowEngine {
+    config: EngineConfig,
+    packing_stats: Option<ModelPackingStats>,
+}
+
+impl MeadowEngine {
+    /// Builds an engine, validating the configuration and precomputing
+    /// packing statistics if the plan packs weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid bandwidth and
+    /// propagates model/packing errors.
+    pub fn new(config: EngineConfig) -> Result<Self, CoreError> {
+        if !config.bandwidth_gbps.is_finite() || config.bandwidth_gbps <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                param: "bandwidth_gbps",
+                reason: format!("must be finite and positive, got {}", config.bandwidth_gbps),
+            });
+        }
+        config.chip.validate()?;
+        config.model.validate()?;
+        let packing_stats = match config.plan.packing {
+            Some(level) => {
+                Some(ModelPackingStats::compute(&config.model, &config.packing_config, level)?)
+            }
+            None => None,
+        };
+        Ok(Self { config, packing_stats })
+    }
+
+    /// Builds an engine with precomputed packing statistics (sweep harnesses
+    /// reuse one statistics computation across many bandwidth points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the plan packs weights but
+    /// `stats` is `None` for a packing plan, or on invalid bandwidth.
+    pub fn with_packing_stats(
+        config: EngineConfig,
+        stats: Option<ModelPackingStats>,
+    ) -> Result<Self, CoreError> {
+        if !config.bandwidth_gbps.is_finite() || config.bandwidth_gbps <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                param: "bandwidth_gbps",
+                reason: format!("must be finite and positive, got {}", config.bandwidth_gbps),
+            });
+        }
+        config.chip.validate()?;
+        config.model.validate()?;
+        if config.plan.packing.is_some() && stats.is_none() {
+            return Err(CoreError::InvalidConfig {
+                param: "packing_stats",
+                reason: "plan packs weights but no statistics were provided".into(),
+            });
+        }
+        Ok(Self { config, packing_stats: stats })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Precomputed packing statistics, if the plan packs weights.
+    pub fn packing_stats(&self) -> Option<&ModelPackingStats> {
+        self.packing_stats.as_ref()
+    }
+
+    fn fresh_dram(&self) -> Result<DramModel, CoreError> {
+        DramModel::with_bandwidth(self.config.bandwidth_gbps, self.config.chip.clock)
+            .map_err(CoreError::from)
+    }
+
+    fn measure(&self, tokens_new: usize, context: usize) -> Result<LatencyReport, CoreError> {
+        use meadow_dataflow::schedule::{layer_latency, LayerParams};
+        let mut dram = self.fresh_dram()?;
+        let layers: Vec<LayerLatency> = (0..self.config.model.layers)
+            .map(|layer| {
+                let params = LayerParams {
+                    config: &self.config.model,
+                    layer,
+                    tokens_new,
+                    context,
+                    packing_stats: self.packing_stats.as_ref(),
+                    packing_config: self.config.packing_config,
+                    knobs: self.config.knobs,
+                };
+                layer_latency(&self.config.chip, &mut dram, &self.config.plan, &params)
+                    .map_err(CoreError::from)
+            })
+            .collect::<Result<_, _>>()?;
+        let cycles = layers.iter().map(LayerLatency::makespan).sum();
+        Ok(LatencyReport {
+            cycles,
+            clock: self.config.chip.clock,
+            layers,
+            ledger: dram.ledger().clone(),
+        })
+    }
+
+    /// Time to first token: the full prompt processed in one prefill pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload validation and executor errors.
+    pub fn prefill_latency(&self, prompt_tokens: usize) -> Result<LatencyReport, CoreError> {
+        let w = PrefillWorkload::new(&self.config.model, prompt_tokens)?;
+        self.measure(w.prompt_tokens, w.prompt_tokens)
+    }
+
+    /// Time between tokens: predicting the `token_index`-th generated token
+    /// after `prefill_tokens` of prompt (§6.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload validation and executor errors; vision
+    /// transformers reject decode workloads.
+    pub fn decode_latency(
+        &self,
+        prefill_tokens: usize,
+        token_index: usize,
+    ) -> Result<LatencyReport, CoreError> {
+        let w = DecodeWorkload::new(&self.config.model, prefill_tokens, token_index)?;
+        self.measure(1, w.context_len())
+    }
+
+    /// Single-pass inference latency for a vision transformer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for decoder-LM configs.
+    pub fn vit_inference_latency(&self) -> Result<LatencyReport, CoreError> {
+        match self.config.model.kind {
+            ModelKind::VisionTransformer { tokens } => self.measure(tokens, tokens),
+            ModelKind::DecoderLm => Err(CoreError::InvalidConfig {
+                param: "model",
+                reason: "vit_inference_latency requires a vision transformer".into(),
+            }),
+        }
+    }
+
+    /// End-to-end latency of a generation request: one prefill plus
+    /// `generated_tokens` decode steps. TBT grows linearly in the context
+    /// length, so the decode total is integrated from the first and last
+    /// step's TBT (trapezoid rule — exact for a linear model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload validation and executor errors.
+    pub fn end_to_end_latency(
+        &self,
+        prompt_tokens: usize,
+        generated_tokens: usize,
+    ) -> Result<EndToEndReport, CoreError> {
+        if generated_tokens == 0 {
+            return Err(CoreError::InvalidConfig {
+                param: "generated_tokens",
+                reason: "must generate at least one token".into(),
+            });
+        }
+        let ttft = self.prefill_latency(prompt_tokens)?;
+        let first = self.decode_latency(prompt_tokens, 1)?;
+        let last = self.decode_latency(prompt_tokens, generated_tokens)?;
+        let decode_ms =
+            (first.total_ms() + last.total_ms()) / 2.0 * generated_tokens as f64;
+        Ok(EndToEndReport {
+            ttft_ms: ttft.total_ms(),
+            decode_ms,
+            generated_tokens,
+            total_ms: ttft.total_ms() + decode_ms,
+        })
+    }
+
+    /// Average-power report for a measurement, combining the DRAM ledger
+    /// with the model's MAC count (BRAM/NoC traffic estimated as twice the
+    /// DRAM volume: every transferred byte crosses a BRAM and the NoC once
+    /// on each side).
+    pub fn power_report(
+        &self,
+        report: &LatencyReport,
+        tokens_new: usize,
+        context: usize,
+    ) -> PowerReport {
+        let dram_bytes = report.ledger.fetch_bytes() + report.ledger.store_bytes();
+        let macs =
+            self.config.model.layer_macs(tokens_new, context) * self.config.model.layers as u64;
+        let activity = ActivityCounts {
+            macs,
+            dram_bytes,
+            bram_bytes: 2 * dram_bytes,
+            noc_bytes: 2 * dram_bytes,
+        };
+        EnergyModel::zcu102().report(activity, report.cycles, self.config.chip.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meadow_models::presets;
+
+    #[test]
+    fn invalid_bandwidth_rejected() {
+        assert!(MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 0.0)).is_err());
+        assert!(MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), -2.0)).is_err());
+        assert!(
+            MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), f64::NAN)).is_err()
+        );
+    }
+
+    #[test]
+    fn tiny_model_end_to_end() {
+        let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
+        let prefill = engine.prefill_latency(16).unwrap();
+        assert!(prefill.total_ms() > 0.0);
+        assert_eq!(prefill.layers.len(), 2);
+        let decode = engine.decode_latency(16, 4).unwrap();
+        assert!(decode.total_ms() > 0.0);
+        assert!(decode.total_ms() < prefill.total_ms());
+        let e2e = engine.end_to_end_latency(16, 8).unwrap();
+        assert!(e2e.total_ms > e2e.ttft_ms);
+        assert_eq!(e2e.generated_tokens, 8);
+    }
+
+    #[test]
+    fn meadow_beats_gemm_on_opt125m_prefill() {
+        let model = presets::opt_125m();
+        let meadow = MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).unwrap();
+        let gemm = MeadowEngine::new(EngineConfig::gemm_baseline(model, 12.0)).unwrap();
+        let m = meadow.prefill_latency(512).unwrap();
+        let g = gemm.prefill_latency(512).unwrap();
+        let speedup = g.total_ms() / m.total_ms();
+        assert!(speedup > 1.2, "prefill speedup {speedup}");
+    }
+
+    #[test]
+    fn vit_path_works_and_decode_rejected() {
+        let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_vit(), 6.0)).unwrap();
+        let lat = engine.vit_inference_latency().unwrap();
+        assert!(lat.total_ms() > 0.0);
+        assert!(engine.decode_latency(8, 1).is_err());
+        let lm = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 6.0)).unwrap();
+        assert!(lm.vit_inference_latency().is_err());
+    }
+
+    #[test]
+    fn lower_bandwidth_is_slower() {
+        let model = presets::tiny_decoder();
+        let fast = MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).unwrap();
+        let slow = MeadowEngine::new(EngineConfig::zcu102(model, 1.0)).unwrap();
+        let f = fast.prefill_latency(32).unwrap();
+        let s = slow.prefill_latency(32).unwrap();
+        assert!(s.cycles > f.cycles);
+    }
+
+    #[test]
+    fn power_stays_under_ten_watts() {
+        let model = presets::opt_125m();
+        let engine = MeadowEngine::new(EngineConfig::zcu102(model, 12.0)).unwrap();
+        let prefill = engine.prefill_latency(512).unwrap();
+        let power = engine.power_report(&prefill, 512, 512);
+        assert!(power.average_watts < 10.0, "power {}", power.average_watts);
+        assert!(power.average_watts > 0.0);
+    }
+
+    #[test]
+    fn components_sum_to_makespan_for_gemm() {
+        let engine =
+            MeadowEngine::new(EngineConfig::gemm_baseline(presets::tiny_decoder(), 12.0)).unwrap();
+        let r = engine.prefill_latency(16).unwrap();
+        let (f, c, s) = r.components();
+        assert_eq!(f + c + s, r.cycles, "GEMM is fully sequential");
+    }
+
+    #[test]
+    fn e2e_validation() {
+        let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
+        assert!(engine.end_to_end_latency(16, 0).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the framework layer.
+
+use meadow_dataflow::DataflowError;
+use meadow_models::ModelError;
+use meadow_packing::PackingError;
+use meadow_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the MEADOW framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Propagated dataflow error.
+    Dataflow(DataflowError),
+    /// Propagated model error.
+    Model(ModelError),
+    /// Propagated hardware-model error.
+    Sim(SimError),
+    /// Propagated packing error.
+    Packing(PackingError),
+    /// An engine configuration is invalid.
+    InvalidConfig {
+        /// Parameter name.
+        param: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dataflow(e) => write!(f, "dataflow error: {e}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Sim(e) => write!(f, "hardware error: {e}"),
+            CoreError::Packing(e) => write!(f, "packing error: {e}"),
+            CoreError::InvalidConfig { param, reason } => {
+                write!(f, "invalid engine config `{param}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Dataflow(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Packing(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<DataflowError> for CoreError {
+    fn from(e: DataflowError) -> Self {
+        CoreError::Dataflow(e)
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<PackingError> for CoreError {
+    fn from(e: PackingError) -> Self {
+        CoreError::Packing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = SimError::UnknownId { kind: "task", id: 0 }.into();
+        assert!(e.source().is_some());
+        let e: CoreError = PackingError::ZeroChunkSize.into();
+        assert!(!e.to_string().is_empty());
+        let e = CoreError::InvalidConfig { param: "bw", reason: "zero".into() };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! The MEADOW framework: the paper's primary contribution assembled from the
+//! workspace substrates.
+//!
+//! * [`engine`] — [`MeadowEngine`]: configure a chip, model, bandwidth and
+//!   execution plan; measure TTFT (prefill), TBT (decode) and end-to-end
+//!   latency with full fetch/compute/store breakdowns and traffic ledgers.
+//! * [`baselines`] — the prior-work execution models of Table 2 (CTA token
+//!   compression, FlightLLM N:M sparsity) re-implemented on the MEADOW
+//!   architecture, plus the GEMM baseline.
+//! * [`planner`] — the GEMM-vs-TPHS dataflow chooser over (bandwidth, PE)
+//!   design points (Fig. 12a).
+//! * [`roofline`] — roofline model and per-dataflow operating points
+//!   (Fig. 12b).
+//! * [`vit`] — the DeiT vision-transformer inference path (Fig. 13).
+//! * [`accuracy`] — lossless-ness verification: bit-exact pack→unpack round
+//!   trips over whole model weight sets (the reproduction's stand-in for
+//!   the paper's "approximation-less" accuracy claim).
+//! * [`report`] — table formatting and CSV emission for the repro harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod baselines;
+pub mod engine;
+pub mod error;
+pub mod planner;
+pub mod report;
+pub mod roofline;
+pub mod session;
+pub mod vit;
+
+pub use engine::{EngineConfig, LatencyReport, MeadowEngine};
+pub use error::CoreError;

@@ -1,0 +1,163 @@
+//! Roofline model and dataflow operating points (Fig. 12b of the paper).
+//!
+//! Performance is bounded by `min(peak compute, bandwidth × operational
+//! intensity)`. The attention chain's operational intensity (MACs per DRAM
+//! byte) differs sharply between dataflows: GEMM round-trips every
+//! intermediate, depressing its intensity, while TPHS touches DRAM only for
+//! inputs, per-head weights/KV and outputs.
+
+use crate::error::CoreError;
+use meadow_dataflow::schedule::{attention_block_latency, LayerParams, ScheduleKnobs};
+use meadow_dataflow::{AttentionDataflow, ExecutionPlan};
+use meadow_models::TransformerConfig;
+use meadow_packing::PackingConfig;
+use meadow_sim::{ChipConfig, DramModel};
+use serde::{Deserialize, Serialize};
+
+/// The two roofs of a roofline plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflineModel {
+    /// Peak compute throughput in GMAC/s.
+    pub peak_gmacs: f64,
+    /// Memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl RooflineModel {
+    /// Builds the roofline for a chip at a DRAM bandwidth in Gbps.
+    pub fn new(chip: &ChipConfig, bandwidth_gbps: f64) -> Self {
+        Self { peak_gmacs: chip.peak_gmacs_per_sec(), bandwidth_gbs: bandwidth_gbps / 8.0 }
+    }
+
+    /// Attainable GMAC/s at a given operational intensity (MACs/byte).
+    pub fn roof_at(&self, intensity: f64) -> f64 {
+        (self.bandwidth_gbs * intensity).min(self.peak_gmacs)
+    }
+
+    /// The knee: intensity where the memory roof meets the compute roof.
+    pub fn knee(&self) -> f64 {
+        if self.bandwidth_gbs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.peak_gmacs / self.bandwidth_gbs
+    }
+}
+
+/// One measured operating point on the roofline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Label ("GEMM" / "TPHS").
+    pub name: String,
+    /// Operational intensity in MACs per DRAM byte.
+    pub operational_intensity: f64,
+    /// Achieved throughput in GMAC/s.
+    pub achieved_gmacs: f64,
+    /// Fraction of the attainable roof actually achieved, in `[0, 1]`.
+    pub roof_fraction: f64,
+}
+
+/// Measures the attention chain's roofline point under one dataflow.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn attention_roofline_point(
+    config: &TransformerConfig,
+    chip: &ChipConfig,
+    bandwidth_gbps: f64,
+    dataflow: AttentionDataflow,
+    tokens: usize,
+) -> Result<RooflinePoint, CoreError> {
+    let mut dram = DramModel::with_bandwidth(bandwidth_gbps, chip.clock)?;
+    let plan = ExecutionPlan { attention: dataflow, packing: None };
+    let params = LayerParams {
+        config,
+        layer: 0,
+        tokens_new: tokens,
+        context: tokens,
+        packing_stats: None,
+        packing_config: PackingConfig::default(),
+        knobs: ScheduleKnobs::default(),
+    };
+    let latency = attention_block_latency(chip, &mut dram, &plan, &params)?;
+    // The DRAM channel is full duplex (separate read/write AXI channels), so
+    // the binding direction sets the memory floor.
+    let bytes = dram.ledger().fetch_bytes().max(dram.ledger().store_bytes());
+    // Attention-chain MACs: Q projection + QKᵀ + SM·V over all heads.
+    let t = tokens as u64;
+    let d = config.d_model as u64;
+    let macs = t * d * d + 2 * t * t * d;
+    let seconds = chip.clock.to_seconds(latency.makespan());
+    let achieved = if seconds > 0.0 { macs as f64 / seconds / 1e9 } else { 0.0 };
+    let intensity = if bytes > 0 { macs as f64 / bytes as f64 } else { f64::INFINITY };
+    let roof = RooflineModel::new(chip, bandwidth_gbps).roof_at(intensity);
+    Ok(RooflinePoint {
+        name: match dataflow {
+            AttentionDataflow::Gemm => "GEMM".to_string(),
+            AttentionDataflow::Tphs => "TPHS".to_string(),
+        },
+        operational_intensity: intensity,
+        achieved_gmacs: achieved,
+        roof_fraction: if roof > 0.0 { (achieved / roof).min(1.0) } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meadow_models::presets;
+
+    #[test]
+    fn roofline_shape() {
+        let chip = ChipConfig::zcu102();
+        let r = RooflineModel::new(&chip, 12.0);
+        assert!((r.bandwidth_gbs - 1.5).abs() < 1e-9);
+        assert!((r.peak_gmacs - 614.4).abs() < 1e-6);
+        // Below the knee: memory-bound; above: compute-bound.
+        let knee = r.knee();
+        assert!(r.roof_at(knee / 2.0) < r.peak_gmacs);
+        assert!((r.roof_at(knee * 2.0) - r.peak_gmacs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tphs_has_higher_intensity_than_gemm() {
+        let cfg = presets::opt_125m();
+        let chip = ChipConfig::zcu102();
+        let gemm =
+            attention_roofline_point(&cfg, &chip, 1.0, AttentionDataflow::Gemm, 512).unwrap();
+        let tphs =
+            attention_roofline_point(&cfg, &chip, 1.0, AttentionDataflow::Tphs, 512).unwrap();
+        assert!(
+            tphs.operational_intensity > 2.0 * gemm.operational_intensity,
+            "TPHS {} vs GEMM {}",
+            tphs.operational_intensity,
+            gemm.operational_intensity
+        );
+        // At 1 Gbps the memory roof crushes GEMM throughput.
+        assert!(tphs.achieved_gmacs > gemm.achieved_gmacs);
+    }
+
+    #[test]
+    fn points_stay_under_the_roof() {
+        let cfg = presets::opt_125m();
+        for (bw, pes) in [(1.0, 14), (1.0, 96), (51.0, 14), (51.0, 96)] {
+            let chip = ChipConfig::zcu102_with_total_pes(pes);
+            for df in [AttentionDataflow::Gemm, AttentionDataflow::Tphs] {
+                let p = attention_roofline_point(&cfg, &chip, bw, df, 512).unwrap();
+                let roof = RooflineModel::new(&chip, bw).roof_at(p.operational_intensity);
+                assert!(
+                    p.achieved_gmacs <= roof * 1.01,
+                    "({bw}, {pes}, {df:?}): achieved {} over roof {roof}",
+                    p.achieved_gmacs
+                );
+                assert!(p.roof_fraction <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_bandwidth_knee_is_infinite() {
+        let r = RooflineModel { peak_gmacs: 100.0, bandwidth_gbs: 0.0 };
+        assert!(r.knee().is_infinite());
+    }
+}

@@ -1,0 +1,181 @@
+//! Streaming inference sessions: prefill once, then decode token by token
+//! with a growing KV cache.
+//!
+//! [`MeadowEngine::end_to_end_latency`] integrates decode cost analytically
+//! (exact for the linear-in-context TBT model). `InferenceSession` instead
+//! *walks* the generation loop step by step, which is what a serving stack
+//! on the device would observe: per-token latencies, cumulative time,
+//! KV-cache growth and the final tokens/second.
+
+use crate::engine::MeadowEngine;
+use crate::error::CoreError;
+use meadow_models::workload::kv_cache_total_bytes;
+use serde::{Deserialize, Serialize};
+
+/// Latency trace of one generation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionTrace {
+    /// Prompt length.
+    pub prompt_tokens: usize,
+    /// TTFT in ms.
+    pub ttft_ms: f64,
+    /// Per-generated-token latency in ms (index 0 = first generated token).
+    pub tbt_ms: Vec<f64>,
+    /// KV-cache bytes at the end of generation.
+    pub final_kv_bytes: u64,
+}
+
+impl SessionTrace {
+    /// Total request latency in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.ttft_ms + self.tbt_ms.iter().sum::<f64>()
+    }
+
+    /// Steady-state decode throughput in tokens/second.
+    pub fn decode_tokens_per_sec(&self) -> f64 {
+        let decode_ms: f64 = self.tbt_ms.iter().sum();
+        if decode_ms <= 0.0 {
+            return 0.0;
+        }
+        self.tbt_ms.len() as f64 / (decode_ms / 1e3)
+    }
+
+    /// Whether per-token latency is non-decreasing (it must be: the KV cache
+    /// only grows).
+    pub fn tbt_is_monotone(&self) -> bool {
+        self.tbt_ms.windows(2).all(|w| w[1] >= w[0] - 1e-9)
+    }
+}
+
+/// A stateful generation session over an engine.
+#[derive(Debug, Clone)]
+pub struct InferenceSession<'a> {
+    engine: &'a MeadowEngine,
+    prompt_tokens: usize,
+    generated: usize,
+    ttft_ms: f64,
+    tbt_ms: Vec<f64>,
+}
+
+impl<'a> InferenceSession<'a> {
+    /// Starts a session by running the prefill pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload validation and executor errors.
+    pub fn start(engine: &'a MeadowEngine, prompt_tokens: usize) -> Result<Self, CoreError> {
+        let ttft = engine.prefill_latency(prompt_tokens)?;
+        Ok(Self {
+            engine,
+            prompt_tokens,
+            generated: 0,
+            ttft_ms: ttft.total_ms(),
+            tbt_ms: Vec::new(),
+        })
+    }
+
+    /// Tokens generated so far.
+    pub fn generated(&self) -> usize {
+        self.generated
+    }
+
+    /// Current context length (prompt + generated).
+    pub fn context_len(&self) -> usize {
+        self.prompt_tokens + self.generated
+    }
+
+    /// Generates one more token, returning its latency in ms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload validation errors (e.g. exceeding `max_seq`).
+    pub fn step(&mut self) -> Result<f64, CoreError> {
+        let tbt = self.engine.decode_latency(self.prompt_tokens, self.generated + 1)?;
+        self.generated += 1;
+        let ms = tbt.total_ms();
+        self.tbt_ms.push(ms);
+        Ok(ms)
+    }
+
+    /// Generates `n` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors (generation stops at the first failure).
+    pub fn generate(&mut self, n: usize) -> Result<(), CoreError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Finishes the session, returning its trace.
+    pub fn finish(self) -> SessionTrace {
+        let model = &self.engine.config().model;
+        SessionTrace {
+            prompt_tokens: self.prompt_tokens,
+            ttft_ms: self.ttft_ms,
+            final_kv_bytes: kv_cache_total_bytes(model, self.context_len()),
+            tbt_ms: self.tbt_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use meadow_models::presets;
+
+    fn engine() -> MeadowEngine {
+        MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap()
+    }
+
+    #[test]
+    fn session_walks_the_generation_loop() {
+        let engine = engine();
+        let mut session = InferenceSession::start(&engine, 16).unwrap();
+        session.generate(8).unwrap();
+        assert_eq!(session.generated(), 8);
+        assert_eq!(session.context_len(), 24);
+        let trace = session.finish();
+        assert_eq!(trace.tbt_ms.len(), 8);
+        assert!(trace.total_ms() > trace.ttft_ms);
+        assert!(trace.decode_tokens_per_sec() > 0.0);
+        assert!(trace.tbt_is_monotone(), "KV growth must not shrink TBT: {:?}", trace.tbt_ms);
+        assert_eq!(trace.final_kv_bytes, (2 * 24 * 32 * 2) as u64);
+    }
+
+    #[test]
+    fn session_respects_max_seq() {
+        let engine = engine();
+        let mut session = InferenceSession::start(&engine, 60).unwrap();
+        // max_seq = 64: the 5th generated token sees context 64 (still
+        // provisioned); the 6th would need context 65 and must fail.
+        session.generate(5).unwrap();
+        assert!(session.step().is_err());
+    }
+
+    #[test]
+    fn trace_matches_analytic_end_to_end() {
+        // The trapezoid integration in `end_to_end_latency` must agree with
+        // the walked sum (TBT is linear in context).
+        let engine = engine();
+        let analytic = engine.end_to_end_latency(16, 8).unwrap();
+        let mut session = InferenceSession::start(&engine, 16).unwrap();
+        session.generate(8).unwrap();
+        let walked = session.finish();
+        let rel = (analytic.total_ms - walked.total_ms()).abs() / walked.total_ms();
+        assert!(rel < 0.02, "analytic {} vs walked {}", analytic.total_ms, walked.total_ms());
+    }
+
+    #[test]
+    fn empty_session_trace() {
+        let engine = engine();
+        let session = InferenceSession::start(&engine, 8).unwrap();
+        let trace = session.finish();
+        assert!(trace.tbt_ms.is_empty());
+        assert_eq!(trace.decode_tokens_per_sec(), 0.0);
+        assert!(trace.tbt_is_monotone());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the dataflow executors.
+
+use meadow_models::ModelError;
+use meadow_packing::PackingError;
+use meadow_sim::SimError;
+use meadow_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by dataflow execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataflowError {
+    /// Propagated hardware-model error.
+    Sim(SimError),
+    /// Propagated tensor error.
+    Tensor(TensorError),
+    /// Propagated packing error.
+    Packing(PackingError),
+    /// Propagated model error.
+    Model(ModelError),
+    /// A schedule could not be constructed.
+    Schedule {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::Sim(e) => write!(f, "hardware model error: {e}"),
+            DataflowError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataflowError::Packing(e) => write!(f, "packing error: {e}"),
+            DataflowError::Model(e) => write!(f, "model error: {e}"),
+            DataflowError::Schedule { reason } => write!(f, "scheduling error: {reason}"),
+        }
+    }
+}
+
+impl Error for DataflowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataflowError::Sim(e) => Some(e),
+            DataflowError::Tensor(e) => Some(e),
+            DataflowError::Packing(e) => Some(e),
+            DataflowError::Model(e) => Some(e),
+            DataflowError::Schedule { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for DataflowError {
+    fn from(e: SimError) -> Self {
+        DataflowError::Sim(e)
+    }
+}
+
+impl From<TensorError> for DataflowError {
+    fn from(e: TensorError) -> Self {
+        DataflowError::Tensor(e)
+    }
+}
+
+impl From<PackingError> for DataflowError {
+    fn from(e: PackingError) -> Self {
+        DataflowError::Packing(e)
+    }
+}
+
+impl From<ModelError> for DataflowError {
+    fn from(e: ModelError) -> Self {
+        DataflowError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: DataflowError = SimError::UnknownId { kind: "task", id: 1 }.into();
+        assert!(e.source().is_some());
+        let e: DataflowError = TensorError::ZeroParameter { name: "t" }.into();
+        assert!(!e.to_string().is_empty());
+        let e: DataflowError = PackingError::ZeroChunkSize.into();
+        assert!(e.source().is_some());
+        let e = DataflowError::Schedule { reason: "x".into() };
+        assert!(e.source().is_none());
+    }
+}

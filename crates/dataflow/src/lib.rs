@@ -1,0 +1,37 @@
+//! Execution engines for the MEADOW reproduction: the GEMM-mode baseline and
+//! the Token-Parallel Head-Sequential (TPHS) dataflow (§4 of the paper).
+//!
+//! Two concerns are deliberately separated:
+//!
+//! * **Latency path** — works from dimensions alone, at any model scale.
+//!   [`gemm`] charges each op the paper's GEMM semantics (fetch operands
+//!   from DRAM → compute → store back); [`tphs`] schedules the fused
+//!   `Q → QKᵀ → Softmax → SM·V` pipeline onto the chip's PEs and softmax
+//!   modules with DMA prefetch overlap through the event engine.
+//!   [`schedule`] assembles whole decoder layers under an [`ExecutionPlan`]
+//!   and produces the fetch/compute/store breakdowns behind Figs. 1, 8, 9
+//!   and 11.
+//! * **Functional path** ([`functional`]) — runs real INT8 numbers through
+//!   both dataflows on small configurations and proves they compute the same
+//!   attention outputs, which is the reproduction's stand-in for the paper's
+//!   "approximation-less" claim on the dataflow side.
+//!
+//! [`pipeline`] holds the blocking-aware flow-shop scheduler that underpins
+//! the TPHS stage timing; [`tiling`] the BRAM-capacity-aware GEMM tiling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod error;
+pub mod forward;
+pub mod functional;
+pub mod gemm;
+pub mod pipeline;
+pub mod schedule;
+pub mod tiling;
+pub mod tphs;
+
+pub use breakdown::{LayerLatency, OpLatency};
+pub use error::DataflowError;
+pub use schedule::{AttentionDataflow, ExecutionPlan, LayerParams};

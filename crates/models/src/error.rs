@@ -1,0 +1,73 @@
+//! Error type for model configuration and weight generation.
+
+use meadow_packing::PackingError;
+use meadow_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by model-zoo operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A transformer configuration is internally inconsistent.
+    InvalidConfig {
+        /// Parameter name.
+        param: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+    /// Propagated weight-packing error.
+    Packing(PackingError),
+    /// Propagated tensor error.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig { param, reason } => {
+                write!(f, "invalid model config `{param}`: {reason}")
+            }
+            ModelError::Packing(e) => write!(f, "packing error: {e}"),
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Packing(e) => Some(e),
+            ModelError::Tensor(e) => Some(e),
+            ModelError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<PackingError> for ModelError {
+    fn from(e: PackingError) -> Self {
+        ModelError::Packing(e)
+    }
+}
+
+impl From<TensorError> for ModelError {
+    fn from(e: TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::InvalidConfig { param: "heads", reason: "zero".into() };
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_none());
+        let e: ModelError = PackingError::ZeroChunkSize.into();
+        assert!(e.source().is_some());
+        let e: ModelError = TensorError::ZeroParameter { name: "x" }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,35 @@
+//! Model zoo for the MEADOW reproduction: transformer configurations,
+//! synthetic redundancy-calibrated weights and workload descriptors.
+//!
+//! The paper evaluates OPT-125M and OPT-1.3B (decoder LMs, §6.1) and DeiT-S /
+//! DeiT-B vision transformers (§6.6). Real SmoothQuant-quantized checkpoints
+//! are not available offline, so weights are synthesized with the chunk
+//! redundancy statistics the paper reports (Fig. 4a: reduction ratios of
+//! 10²–10³ across decoder layers; Fig. 10a: the first MLP matrix of decoder 1
+//! decomposes into 1272 unique chunks) — see `DESIGN.md` §4 for why this
+//! substitution preserves the latency-relevant behavior. Weight packing is
+//! lossless by construction, so model *accuracy* is unaffected by packing
+//! regardless of the weight values.
+//!
+//! * [`config`] — [`TransformerConfig`], layer shapes, per-matrix dims.
+//! * [`presets`] — OPT-125M, OPT-1.3B, DeiT-S, DeiT-B and small test configs.
+//! * [`synthetic`] — Zipf/run-structured chunk generator with per-matrix
+//!   redundancy profiles.
+//! * [`weights`] — materialized layer weights plus sampled packing
+//!   statistics for large models.
+//! * [`workload`] — prefill/decode workload descriptors and KV-cache sizing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod presets;
+pub mod synthetic;
+pub mod weights;
+pub mod workload;
+
+pub use config::{MatrixKind, ModelKind, TransformerConfig};
+pub use error::ModelError;
+pub use synthetic::RedundancyProfile;
+pub use workload::{DecodeWorkload, PrefillWorkload};

@@ -1,0 +1,140 @@
+//! Prefill / decode workload descriptors and KV-cache sizing.
+
+use crate::config::{ModelKind, TransformerConfig};
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// A prefill request: the whole prompt is processed in one batch, producing
+/// the first token (the TTFT measurement of §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrefillWorkload {
+    /// Number of prompt tokens.
+    pub prompt_tokens: usize,
+}
+
+impl PrefillWorkload {
+    /// Creates a prefill workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for zero tokens or a prompt
+    /// longer than the model's provisioned maximum.
+    pub fn new(config: &TransformerConfig, prompt_tokens: usize) -> Result<Self, ModelError> {
+        if prompt_tokens == 0 {
+            return Err(ModelError::InvalidConfig {
+                param: "prompt_tokens",
+                reason: "zero".into(),
+            });
+        }
+        if prompt_tokens > config.max_seq {
+            return Err(ModelError::InvalidConfig {
+                param: "prompt_tokens",
+                reason: format!("{prompt_tokens} exceeds max_seq {}", config.max_seq),
+            });
+        }
+        Ok(Self { prompt_tokens })
+    }
+}
+
+/// A decode step: predict the `token_index`-th generated token after a
+/// prefill of `prefill_tokens` (the TBT measurement of §6.1: "the latency of
+/// generating the Nth token after the LLM has produced N−1 tokens").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodeWorkload {
+    /// Tokens processed at prefill.
+    pub prefill_tokens: usize,
+    /// Index (1-based) of the generated token being measured.
+    pub token_index: usize,
+}
+
+impl DecodeWorkload {
+    /// Creates a decode workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for zero indices, a ViT config
+    /// (ViTs have no decode phase), or a context beyond `max_seq`.
+    pub fn new(
+        config: &TransformerConfig,
+        prefill_tokens: usize,
+        token_index: usize,
+    ) -> Result<Self, ModelError> {
+        if let ModelKind::VisionTransformer { .. } = config.kind {
+            return Err(ModelError::InvalidConfig {
+                param: "kind",
+                reason: "vision transformers have no decode stage".into(),
+            });
+        }
+        if prefill_tokens == 0 || token_index == 0 {
+            return Err(ModelError::InvalidConfig {
+                param: "decode",
+                reason: "prefill_tokens and token_index must be at least 1".into(),
+            });
+        }
+        let w = Self { prefill_tokens, token_index };
+        if w.context_len() > config.max_seq {
+            return Err(ModelError::InvalidConfig {
+                param: "token_index",
+                reason: format!("context {} exceeds max_seq {}", w.context_len(), config.max_seq),
+            });
+        }
+        Ok(w)
+    }
+
+    /// KV-cache length visible to this step: the prompt plus all previously
+    /// generated tokens.
+    pub fn context_len(&self) -> usize {
+        self.prefill_tokens + self.token_index - 1
+    }
+}
+
+/// KV-cache bytes per layer at a given context length (K and V, INT8).
+pub fn kv_cache_layer_bytes(config: &TransformerConfig, context_len: usize) -> u64 {
+    2 * (context_len * config.d_model) as u64
+}
+
+/// KV-cache bytes for the whole model.
+pub fn kv_cache_total_bytes(config: &TransformerConfig, context_len: usize) -> u64 {
+    kv_cache_layer_bytes(config, context_len) * config.layers as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn prefill_validation() {
+        let c = presets::opt_125m();
+        assert!(PrefillWorkload::new(&c, 512).is_ok());
+        assert!(PrefillWorkload::new(&c, 0).is_err());
+        assert!(PrefillWorkload::new(&c, 4096).is_err());
+    }
+
+    #[test]
+    fn decode_context_arithmetic() {
+        let c = presets::opt_125m();
+        let w = DecodeWorkload::new(&c, 512, 64).unwrap();
+        // Paper: predicting the 64th token after 512 prefill → context 575.
+        assert_eq!(w.context_len(), 575);
+        let w = DecodeWorkload::new(&c, 512, 1).unwrap();
+        assert_eq!(w.context_len(), 512);
+    }
+
+    #[test]
+    fn decode_validation() {
+        let c = presets::opt_125m();
+        assert!(DecodeWorkload::new(&c, 0, 1).is_err());
+        assert!(DecodeWorkload::new(&c, 512, 0).is_err());
+        assert!(DecodeWorkload::new(&c, 2048, 64).is_err());
+        assert!(DecodeWorkload::new(&presets::deit_s(), 10, 1).is_err());
+    }
+
+    #[test]
+    fn kv_cache_sizes() {
+        let c = presets::opt_125m();
+        // 2 × 512 × 768 = 768 KiB per layer.
+        assert_eq!(kv_cache_layer_bytes(&c, 512), 2 * 512 * 768);
+        assert_eq!(kv_cache_total_bytes(&c, 512), 12 * 2 * 512 * 768);
+    }
+}

@@ -1,0 +1,540 @@
+//! Packet formats: naive packing and packet-specific encoding precision
+//! (§5.2, Fig. 4b of the paper), plus the [`PackedWeights`] container that
+//! ties the whole pipeline together.
+//!
+//! Both formats move fixed-size packets (a mode field plus a
+//! `payload_bits`-wide payload — one DRAM word group):
+//!
+//! * **Naive packing** gives every packet the same uniform precision
+//!   `max_id_bits = ⌈log₂(#unique)⌉` and needs no mode field. Low-valued IDs
+//!   waste bits — the inefficiency Fig. 4b calls out.
+//! * **Packet-specific packing** prefixes each packet with a mode field that
+//!   selects an exact per-packet precision (as in the paper's example, where
+//!   packets carry 2-bit or 3-bit IDs). A packet at precision `p` carries
+//!   `⌊payload / p⌋` IDs; the encoder greedily picks the precision that packs
+//!   the most upcoming IDs into the next packet.
+//!
+//! Frequency-aware re-indexing reuses the packet-specific encoder on a
+//! re-indexed ID stream (see [`crate::reindex`]).
+
+use crate::bitstream::{BitStream, BitWriter};
+use crate::bits_for_ids;
+use crate::chunk::{decompose, reconstruct, ChunkConfig, EncodedMatrix, UniqueMatrix};
+use crate::error::PackingError;
+use crate::reindex::frequency_reindex;
+use meadow_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The three optimization levels of §5 (each subsumes the previous).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PackingLevel {
+    /// Indexing + uniform-precision packet packing.
+    Naive,
+    /// Indexing + packet-specific encoding precision.
+    PacketSpecific,
+    /// Frequency-aware re-indexing + packet-specific encoding precision.
+    FrequencyAware,
+}
+
+impl PackingLevel {
+    /// All levels, in increasing optimization order.
+    pub fn all() -> [PackingLevel; 3] {
+        [PackingLevel::Naive, PackingLevel::PacketSpecific, PackingLevel::FrequencyAware]
+    }
+}
+
+/// Configuration shared by all packing levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PackingConfig {
+    /// Chunk decomposition parameters.
+    pub chunk: ChunkConfig,
+    /// Packet payload width in bits (two DRAM words, 128, by default).
+    pub payload_bits: u32,
+}
+
+impl Default for PackingConfig {
+    fn default() -> Self {
+        Self { chunk: ChunkConfig::default(), payload_bits: 128 }
+    }
+}
+
+/// The precision ladder available to the MAU unpacker: every integer width
+/// from 1 to `max_bits`, exactly as the paper's packets carry 2-bit and
+/// 3-bit IDs side by side (Fig. 4b).
+pub fn precision_ladder(max_bits: u32) -> Vec<u32> {
+    (1..=max_bits).collect()
+}
+
+/// Bits needed to represent the single value `v` (minimum 1).
+pub fn bits_needed(v: u32) -> u32 {
+    (32 - v.leading_zeros()).max(1)
+}
+
+/// Stream-level metadata needed to decode a packed weight stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedMeta {
+    /// Weight-matrix rows.
+    pub rows: usize,
+    /// Chunks per row.
+    pub chunk_cols: usize,
+    /// Elements per chunk.
+    pub chunk_elems: usize,
+    /// Number of unique chunks.
+    pub unique_count: usize,
+    /// Uniform ID precision (`⌈log₂(unique_count)⌉`, min 1).
+    pub max_id_bits: u32,
+    /// Packet payload width in bits.
+    pub payload_bits: u32,
+    /// Mode-field width in bits (0 for naive packing).
+    pub mode_bits: u32,
+    /// Total number of IDs in the stream.
+    pub total_ids: usize,
+    /// Number of packets emitted.
+    pub packets: u64,
+}
+
+impl PackedMeta {
+    /// Total bits per packet (mode field + payload).
+    pub fn packet_bits(&self) -> u32 {
+        self.mode_bits + self.payload_bits
+    }
+}
+
+/// A fully packed weight matrix: unique matrix + packed ID stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedWeights {
+    level: PackingLevel,
+    unique: UniqueMatrix,
+    stream: BitStream,
+    meta: PackedMeta,
+}
+
+impl PackedWeights {
+    /// Packs a weight matrix at the requested optimization level.
+    ///
+    /// # Errors
+    ///
+    /// Returns chunking errors for indivisible dimensions and
+    /// [`PackingError::PayloadTooNarrow`] if a single maximum-precision ID
+    /// does not fit in the configured payload.
+    pub fn pack(
+        w: &Matrix<i8>,
+        config: &PackingConfig,
+        level: PackingLevel,
+    ) -> Result<Self, PackingError> {
+        let (unique, encoded) = decompose(w, config.chunk)?;
+        Self::from_decomposition(unique, encoded, config, level)
+    }
+
+    /// Packs an existing decomposition (used by synthetic generators and by
+    /// ablations that control the indexing separately). The
+    /// frequency-aware level performs its re-indexing here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackingError::PayloadTooNarrow`] if `payload_bits` cannot
+    /// hold one maximum-precision ID.
+    pub fn from_decomposition(
+        unique: UniqueMatrix,
+        encoded: EncodedMatrix,
+        config: &PackingConfig,
+        level: PackingLevel,
+    ) -> Result<Self, PackingError> {
+        let (unique, encoded) = if level == PackingLevel::FrequencyAware {
+            let r = frequency_reindex(&unique, &encoded)?;
+            (r.unique, r.encoded)
+        } else {
+            (unique, encoded)
+        };
+        let max_id_bits = bits_for_ids(unique.len());
+        if config.payload_bits < max_id_bits {
+            return Err(PackingError::PayloadTooNarrow {
+                payload_bits: config.payload_bits,
+                required_bits: max_id_bits,
+            });
+        }
+        let (stream, mode_bits, packets) = match level {
+            PackingLevel::Naive => {
+                let (s, packets) =
+                    encode_naive(encoded.ids(), max_id_bits, config.payload_bits)?;
+                (s, 0, packets)
+            }
+            PackingLevel::PacketSpecific | PackingLevel::FrequencyAware => {
+                encode_packets(encoded.ids(), max_id_bits, config.payload_bits)?
+            }
+        };
+        let meta = PackedMeta {
+            rows: encoded.rows(),
+            chunk_cols: encoded.chunk_cols(),
+            chunk_elems: encoded.chunk_elems(),
+            unique_count: unique.len(),
+            max_id_bits,
+            payload_bits: config.payload_bits,
+            mode_bits,
+            total_ids: encoded.len(),
+            packets,
+        };
+        Ok(Self { level, unique, stream, meta })
+    }
+
+    /// The packing level used.
+    pub fn level(&self) -> PackingLevel {
+        self.level
+    }
+
+    /// Stream metadata.
+    pub fn meta(&self) -> &PackedMeta {
+        &self.meta
+    }
+
+    /// The (possibly re-indexed) unique matrix.
+    pub fn unique(&self) -> &UniqueMatrix {
+        &self.unique
+    }
+
+    /// The packed ID stream.
+    pub fn stream(&self) -> &BitStream {
+        &self.stream
+    }
+
+    /// Decodes the packed stream back to chunk IDs (the MAU datapath).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackingError::InvalidStream`] or bitstream errors for
+    /// corrupted streams.
+    pub fn decode_ids(&self) -> Result<Vec<u32>, PackingError> {
+        match self.level {
+            PackingLevel::Naive => decode_naive(&self.stream, &self.meta),
+            PackingLevel::PacketSpecific | PackingLevel::FrequencyAware => {
+                decode_packets(&self.stream, &self.meta)
+            }
+        }
+    }
+
+    /// Reconstructs the exact original weight matrix (MAU decode + unique
+    /// matrix lookup — the full WILU path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors; returns [`PackingError::InvalidStream`] if
+    /// an ID is out of table range.
+    pub fn unpack(&self) -> Result<Matrix<i8>, PackingError> {
+        let ids = self.decode_ids()?;
+        let encoded =
+            EncodedMatrix::from_parts(ids, self.meta.rows, self.meta.chunk_cols, self.meta.chunk_elems);
+        reconstruct(&self.unique, &encoded)
+    }
+
+    /// Raw (unpacked) weight size in bits.
+    pub fn raw_bits(&self) -> u64 {
+        (self.meta.rows * self.meta.chunk_cols * self.meta.chunk_elems) as u64 * 8
+    }
+
+    /// Total packed size in bits: ID stream plus the unique matrix, both of
+    /// which must cross the DRAM channel.
+    pub fn packed_bits(&self) -> u64 {
+        self.stream.bit_len() + self.unique.size_bytes() * 8
+    }
+
+    /// Total bytes transferred from DRAM for this matrix.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.stream.byte_len() + self.unique.size_bytes()
+    }
+
+    /// Compression ratio `raw / packed` (> 1 is a win).
+    pub fn compression_ratio(&self) -> f64 {
+        let packed = self.packed_bits();
+        if packed == 0 {
+            return 1.0;
+        }
+        self.raw_bits() as f64 / packed as f64
+    }
+}
+
+fn write_padded(
+    w: &mut BitWriter,
+    ids: &[u32],
+    precision: u32,
+    payload_bits: u32,
+) -> Result<(), PackingError> {
+    let mut used = 0;
+    for &id in ids {
+        w.write(u64::from(id), precision)?;
+        used += precision;
+    }
+    let mut pad = payload_bits - used;
+    while pad > 0 {
+        let step = pad.min(64);
+        w.write(0, step)?;
+        pad -= step;
+    }
+    Ok(())
+}
+
+fn skip_padding(
+    r: &mut crate::bitstream::BitReader<'_>,
+    used: u32,
+    payload_bits: u32,
+) -> Result<(), PackingError> {
+    let mut pad = payload_bits - used;
+    while pad > 0 {
+        let step = pad.min(64);
+        r.read(step)?;
+        pad -= step;
+    }
+    Ok(())
+}
+
+fn encode_naive(
+    ids: &[u32],
+    max_bits: u32,
+    payload_bits: u32,
+) -> Result<(BitStream, u64), PackingError> {
+    let cap = (payload_bits / max_bits) as usize;
+    let mut w = BitWriter::new();
+    let mut packets = 0u64;
+    for group in ids.chunks(cap.max(1)) {
+        write_padded(&mut w, group, max_bits, payload_bits)?;
+        packets += 1;
+    }
+    Ok((w.into_stream(), packets))
+}
+
+fn decode_naive(stream: &BitStream, meta: &PackedMeta) -> Result<Vec<u32>, PackingError> {
+    let cap = (meta.payload_bits / meta.max_id_bits) as usize;
+    let mut r = stream.reader();
+    let mut ids = Vec::with_capacity(meta.total_ids);
+    while ids.len() < meta.total_ids {
+        let take = cap.max(1).min(meta.total_ids - ids.len());
+        let mut used = 0;
+        for _ in 0..take {
+            ids.push(r.read(meta.max_id_bits)? as u32);
+            used += meta.max_id_bits;
+        }
+        skip_padding(&mut r, used, meta.payload_bits)?;
+    }
+    Ok(ids)
+}
+
+fn encode_packets(
+    ids: &[u32],
+    max_bits: u32,
+    payload_bits: u32,
+) -> Result<(BitStream, u32, u64), PackingError> {
+    let mode_bits = bits_for_ids(max_bits as usize);
+    let mut w = BitWriter::new();
+    let mut pos = 0;
+    let mut packets = 0u64;
+    while pos < ids.len() {
+        let remaining = ids.len() - pos;
+        // Pick the precision that packs the most of the upcoming IDs into
+        // one packet; ties go to the smaller precision. Scanning from
+        // max_bits downward lets us stop early once smaller precisions can
+        // no longer beat the incumbent.
+        let mut best_p = max_bits;
+        let mut best_take = ((payload_bits / max_bits) as usize).min(remaining);
+        for p in (1..max_bits).rev() {
+            let cap = (payload_bits / p) as usize;
+            let take = cap.min(remaining);
+            if take < best_take {
+                continue;
+            }
+            if ids[pos..pos + take].iter().all(|&id| bits_needed(id) <= p) {
+                best_p = p;
+                best_take = take;
+            }
+        }
+        w.write(u64::from(best_p - 1), mode_bits)?;
+        write_padded(&mut w, &ids[pos..pos + best_take], best_p, payload_bits)?;
+        pos += best_take;
+        packets += 1;
+    }
+    Ok((w.into_stream(), mode_bits, packets))
+}
+
+fn decode_packets(stream: &BitStream, meta: &PackedMeta) -> Result<Vec<u32>, PackingError> {
+    let mut r = stream.reader();
+    let mut ids = Vec::with_capacity(meta.total_ids);
+    while ids.len() < meta.total_ids {
+        let p = r.read(meta.mode_bits)? as u32 + 1;
+        if p > meta.max_id_bits {
+            return Err(PackingError::InvalidStream {
+                reason: format!("packet precision {p} exceeds max {}", meta.max_id_bits),
+            });
+        }
+        let cap = (meta.payload_bits / p) as usize;
+        let take = cap.min(meta.total_ids - ids.len());
+        let mut used = 0;
+        for _ in 0..take {
+            ids.push(r.read(p)? as u32);
+            used += p;
+        }
+        skip_padding(&mut r, used, meta.payload_bits)?;
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_with_skew() -> Matrix<i8> {
+        // 64 chunks of [0,0] and a few rare chunks: heavy skew.
+        let mut rows = Vec::new();
+        for r in 0..8 {
+            let mut row = vec![0i8; 16];
+            if r == 7 {
+                row[14] = 100;
+                row[15] = 101;
+            }
+            if r == 6 {
+                row[12] = 50;
+                row[13] = 51;
+            }
+            rows.push(row);
+        }
+        let refs: Vec<&[i8]> = rows.iter().map(Vec::as_slice).collect();
+        Matrix::from_rows(&refs).unwrap()
+    }
+
+    #[test]
+    fn ladder_shapes() {
+        assert_eq!(precision_ladder(1), vec![1]);
+        assert_eq!(precision_ladder(3), vec![1, 2, 3]);
+        assert_eq!(precision_ladder(11).len(), 11);
+    }
+
+    #[test]
+    fn bits_needed_values() {
+        assert_eq!(bits_needed(0), 1);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(2), 2);
+        assert_eq!(bits_needed(3), 2);
+        assert_eq!(bits_needed(4), 3);
+        assert_eq!(bits_needed(1271), 11);
+    }
+
+    #[test]
+    fn all_levels_round_trip() {
+        let w = matrix_with_skew();
+        for level in PackingLevel::all() {
+            let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
+            assert_eq!(packed.unpack().unwrap(), w, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn levels_improve_monotonically_on_skewed_data() {
+        let w = matrix_with_skew();
+        let cfg = PackingConfig::default();
+        let naive = PackedWeights::pack(&w, &cfg, PackingLevel::Naive).unwrap();
+        let pkt = PackedWeights::pack(&w, &cfg, PackingLevel::PacketSpecific).unwrap();
+        let freq = PackedWeights::pack(&w, &cfg, PackingLevel::FrequencyAware).unwrap();
+        assert!(pkt.compression_ratio() >= naive.compression_ratio() * 0.95);
+        assert!(freq.compression_ratio() >= pkt.compression_ratio() * 0.95);
+        assert!(naive.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn payload_too_narrow_is_detected() {
+        // 4096+ distinct chunk pairs → 13-bit IDs > 8-bit payload.
+        let vals: Vec<i8> = (0..=127).collect();
+        let mut rows = Vec::new();
+        for a in 0..64 {
+            let mut row = Vec::new();
+            for b in 0..64 {
+                row.push(vals[a]);
+                row.push(vals[b]);
+            }
+            rows.push(row);
+        }
+        let refs: Vec<&[i8]> = rows.iter().map(Vec::as_slice).collect();
+        let w = Matrix::from_rows(&refs).unwrap();
+        let cfg = PackingConfig { payload_bits: 8, ..PackingConfig::default() };
+        assert!(matches!(
+            PackedWeights::pack(&w, &cfg, PackingLevel::PacketSpecific),
+            Err(PackingError::PayloadTooNarrow { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_matrix_packs_tiny() {
+        let w = Matrix::<i8>::filled(32, 32, 5);
+        let packed =
+            PackedWeights::pack(&w, &PackingConfig::default(), PackingLevel::FrequencyAware)
+                .unwrap();
+        assert!(packed.compression_ratio() > 8.0, "ratio {}", packed.compression_ratio());
+        assert_eq!(packed.unpack().unwrap(), w);
+    }
+
+    #[test]
+    fn meta_is_consistent() {
+        let w = matrix_with_skew();
+        let packed =
+            PackedWeights::pack(&w, &PackingConfig::default(), PackingLevel::PacketSpecific)
+                .unwrap();
+        let m = packed.meta();
+        assert_eq!(m.rows, 8);
+        assert_eq!(m.chunk_cols, 8);
+        assert_eq!(m.total_ids, 64);
+        assert_eq!(m.max_id_bits, bits_for_ids(m.unique_count));
+        assert!(m.packets > 0);
+        assert_eq!(packed.raw_bits(), 8 * 16 * 8);
+        assert_eq!(m.packet_bits(), m.mode_bits + m.payload_bits);
+        // Stream length is exactly packets × packet size.
+        assert_eq!(packed.stream().bit_len(), m.packets * u64::from(m.packet_bits()));
+    }
+
+    #[test]
+    fn naive_streams_are_fixed_precision_packets() {
+        let w = matrix_with_skew();
+        let packed =
+            PackedWeights::pack(&w, &PackingConfig::default(), PackingLevel::Naive).unwrap();
+        let m = packed.meta();
+        assert_eq!(m.mode_bits, 0);
+        let cap = (m.payload_bits / m.max_id_bits) as u64;
+        assert_eq!(m.packets, (m.total_ids as u64).div_ceil(cap));
+        assert_eq!(packed.stream().bit_len(), m.packets * u64::from(m.payload_bits));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_stream() {
+        let w = matrix_with_skew();
+        let packed =
+            PackedWeights::pack(&w, &PackingConfig::default(), PackingLevel::Naive).unwrap();
+        let mut meta = *packed.meta();
+        meta.total_ids += 100; // pretend there should be more ids
+        let broken = PackedWeights { meta, ..packed };
+        assert!(broken.decode_ids().is_err());
+    }
+
+    #[test]
+    fn runs_of_small_ids_pack_densely() {
+        // A matrix whose chunks repeat in long runs: the packet-specific
+        // encoder should beat naive clearly once IDs are frequency-ranked.
+        let mut rows = Vec::new();
+        for r in 0..64i32 {
+            let mut row = Vec::new();
+            for c in 0..64i32 {
+                // Long runs of chunk (1,1), occasional rare chunks.
+                let v = if (r * 64 + c) % 29 == 0 { (c % 23) as i8 + 2 } else { 1 };
+                row.push(v);
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        let refs: Vec<&[i8]> = rows.iter().map(Vec::as_slice).collect();
+        let w = Matrix::from_rows(&refs).unwrap();
+        let cfg = PackingConfig::default();
+        let naive = PackedWeights::pack(&w, &cfg, PackingLevel::Naive).unwrap();
+        let freq = PackedWeights::pack(&w, &cfg, PackingLevel::FrequencyAware).unwrap();
+        assert!(
+            freq.compression_ratio() > naive.compression_ratio() * 1.2,
+            "freq {} vs naive {}",
+            freq.compression_ratio(),
+            naive.compression_ratio()
+        );
+        assert_eq!(freq.unpack().unwrap(), w);
+    }
+}

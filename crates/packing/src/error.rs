@@ -1,0 +1,97 @@
+//! Error type for the packing pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by packing / unpacking operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PackingError {
+    /// The matrix's inner dimension is not divisible by the chunk size.
+    NotChunkable {
+        /// Inner (column) dimension of the weight matrix.
+        cols: usize,
+        /// Configured chunk size in elements.
+        chunk_elems: usize,
+    },
+    /// A chunk size of zero was configured.
+    ZeroChunkSize,
+    /// A packet payload narrower than the maximum ID precision was
+    /// configured (at least one ID per packet must fit).
+    PayloadTooNarrow {
+        /// Configured payload width in bits.
+        payload_bits: u32,
+        /// Bits required by the widest ID.
+        required_bits: u32,
+    },
+    /// The bit reader ran past the end of the stream.
+    BitstreamOverrun {
+        /// Bits requested by the failed read.
+        requested: u32,
+        /// Bits remaining in the stream.
+        remaining: u64,
+    },
+    /// More than 64 bits were requested in a single bitstream operation.
+    BitWidthTooLarge {
+        /// Requested width.
+        bits: u32,
+    },
+    /// A decoded stream was internally inconsistent (bad mode, ID out of
+    /// range, wrong element count).
+    InvalidStream {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackingError::NotChunkable { cols, chunk_elems } => write!(
+                f,
+                "inner dimension {cols} is not divisible by chunk size {chunk_elems}"
+            ),
+            PackingError::ZeroChunkSize => write!(f, "chunk size must be non-zero"),
+            PackingError::PayloadTooNarrow { payload_bits, required_bits } => write!(
+                f,
+                "packet payload of {payload_bits} bits cannot hold a {required_bits}-bit ID"
+            ),
+            PackingError::BitstreamOverrun { requested, remaining } => write!(
+                f,
+                "bitstream overrun: requested {requested} bits with {remaining} remaining"
+            ),
+            PackingError::BitWidthTooLarge { bits } => {
+                write!(f, "bit width {bits} exceeds the 64-bit operation limit")
+            }
+            PackingError::InvalidStream { reason } => write!(f, "invalid packed stream: {reason}"),
+        }
+    }
+}
+
+impl Error for PackingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let variants = [
+            PackingError::NotChunkable { cols: 7, chunk_elems: 2 },
+            PackingError::ZeroChunkSize,
+            PackingError::PayloadTooNarrow { payload_bits: 8, required_bits: 11 },
+            PackingError::BitstreamOverrun { requested: 8, remaining: 3 },
+            PackingError::BitWidthTooLarge { bits: 65 },
+            PackingError::InvalidStream { reason: "test".into() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<PackingError>();
+    }
+}

@@ -1,0 +1,180 @@
+//! Capacity-checked on-chip block RAM.
+//!
+//! MEADOW's tile has three 1 MB BRAMs (weight / input / output, Table 1).
+//! The dataflow executors allocate tensor tiles out of them; exceeding a
+//! BRAM forces extra DRAM round trips, so allocation failures here are the
+//! signal the tiling logic keys on. Double-buffered operation (half the
+//! capacity per buffer, ping-pong between fetch and compute) is modeled by
+//! [`Bram::split_double_buffered`].
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Handle to a live BRAM allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BramAlloc(usize);
+
+/// A single on-chip BRAM with byte-granular bump allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bram {
+    name: &'static str,
+    capacity: usize,
+    used: usize,
+    next_handle: usize,
+    allocations: BTreeMap<usize, usize>,
+    peak_used: usize,
+}
+
+impl Bram {
+    /// Creates a BRAM with the given capacity in bytes.
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        Self { name, capacity, used: 0, next_handle: 0, allocations: BTreeMap::new(), peak_used: 0 }
+    }
+
+    /// The BRAM's role name ("weight", "input", "output").
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of usage since construction (for utilization reports).
+    pub fn peak_used(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Whether `bytes` would fit right now.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes <= self.free()
+    }
+
+    /// Allocates `bytes`, returning a handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BramOverflow`] if the allocation does not fit.
+    pub fn alloc(&mut self, bytes: usize) -> Result<BramAlloc, SimError> {
+        if !self.fits(bytes) {
+            return Err(SimError::BramOverflow {
+                bram: self.name,
+                requested: bytes,
+                available: self.free(),
+            });
+        }
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.allocations.insert(handle, bytes);
+        self.used += bytes;
+        self.peak_used = self.peak_used.max(self.used);
+        Ok(BramAlloc(handle))
+    }
+
+    /// Frees a previous allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownAllocation`] if the handle is not live.
+    pub fn dealloc(&mut self, alloc: BramAlloc) -> Result<(), SimError> {
+        match self.allocations.remove(&alloc.0) {
+            Some(bytes) => {
+                self.used -= bytes;
+                Ok(())
+            }
+            None => Err(SimError::UnknownAllocation { handle: alloc.0 }),
+        }
+    }
+
+    /// Frees everything (e.g. between layers).
+    pub fn reset(&mut self) {
+        self.allocations.clear();
+        self.used = 0;
+    }
+
+    /// Splits the BRAM into two half-capacity buffers for ping-pong
+    /// double-buffered operation (fetch into one half while computing from
+    /// the other).
+    pub fn split_double_buffered(&self) -> (Bram, Bram) {
+        let half = self.capacity / 2;
+        (Bram::new(self.name, half), Bram::new(self.name, half))
+    }
+
+    /// Largest tensor tile (in bytes) that can be resident while leaving
+    /// `reserve` bytes for other operands.
+    pub fn max_tile_bytes(&self, reserve: usize) -> usize {
+        self.capacity.saturating_sub(reserve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut b = Bram::new("weight", 100);
+        let a1 = b.alloc(60).unwrap();
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.free(), 40);
+        let a2 = b.alloc(40).unwrap();
+        assert_eq!(b.free(), 0);
+        assert!(b.alloc(1).is_err());
+        b.dealloc(a1).unwrap();
+        assert_eq!(b.free(), 60);
+        b.dealloc(a2).unwrap();
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.peak_used(), 100);
+    }
+
+    #[test]
+    fn overflow_error_reports_availability() {
+        let mut b = Bram::new("input", 10);
+        let err = b.alloc(11).unwrap_err();
+        assert_eq!(err, SimError::BramOverflow { bram: "input", requested: 11, available: 10 });
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let mut b = Bram::new("output", 10);
+        let a = b.alloc(5).unwrap();
+        b.dealloc(a).unwrap();
+        assert!(matches!(b.dealloc(a), Err(SimError::UnknownAllocation { .. })));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut b = Bram::new("weight", 10);
+        b.alloc(7).unwrap();
+        b.reset();
+        assert_eq!(b.used(), 0);
+        assert!(b.alloc(10).is_ok());
+    }
+
+    #[test]
+    fn double_buffer_split_halves_capacity() {
+        let b = Bram::new("weight", 1 << 20);
+        let (x, y) = b.split_double_buffered();
+        assert_eq!(x.capacity(), 1 << 19);
+        assert_eq!(y.capacity(), 1 << 19);
+    }
+
+    #[test]
+    fn max_tile_respects_reserve() {
+        let b = Bram::new("input", 1000);
+        assert_eq!(b.max_tile_bytes(300), 700);
+        assert_eq!(b.max_tile_bytes(2000), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Full tile description with the paper's Table 1 defaults.
+
+use crate::clock::ClockDomain;
+use crate::error::SimError;
+use crate::noc::NocConfig;
+use crate::pe::PeGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a MEADOW accelerator tile.
+///
+/// Defaults ([`ChipConfig::zcu102`]) follow Table 1 of the paper:
+/// 84 parallel + 12 broadcasting PEs, 64 multipliers per PE, 84 softmax
+/// modules, 8 LayerNorm + 8 nonlinearity modules, three 1 MB BRAMs, 4 KB
+/// register files, 100 MHz.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Number of parallel-MAC PEs.
+    pub parallel_pes: usize,
+    /// Number of broadcasting-MAC PEs.
+    pub broadcasting_pes: usize,
+    /// Geometry shared by all PEs.
+    pub pe_geometry: PeGeometry,
+    /// Number of pipelined softmax modules.
+    pub sm_modules: usize,
+    /// Number of LayerNorm modules.
+    pub ln_modules: usize,
+    /// Number of nonlinearity (ReLU/GeLU) modules.
+    pub nl_modules: usize,
+    /// Weight BRAM capacity in bytes.
+    pub weight_bram_bytes: usize,
+    /// Input BRAM capacity in bytes.
+    pub input_bram_bytes: usize,
+    /// Output BRAM capacity in bytes.
+    pub output_bram_bytes: usize,
+    /// Per-buffer register-file capacity in bytes (input/weight/output RFs).
+    pub rf_bytes: usize,
+    /// Accelerator clock domain.
+    pub clock: ClockDomain,
+    /// NoC interconnect configuration.
+    pub noc: NocConfig,
+}
+
+impl ChipConfig {
+    /// The paper's ZCU102 configuration (Table 1).
+    pub fn zcu102() -> Self {
+        Self {
+            parallel_pes: 84,
+            broadcasting_pes: 12,
+            pe_geometry: PeGeometry::ZCU102,
+            sm_modules: 84,
+            ln_modules: 8,
+            nl_modules: 8,
+            weight_bram_bytes: 1 << 20,
+            input_bram_bytes: 1 << 20,
+            output_bram_bytes: 1 << 20,
+            rf_bytes: 4 << 10,
+            clock: ClockDomain::zcu102(),
+            noc: NocConfig::zcu102(),
+        }
+    }
+
+    /// A configuration with `total_pes` PEs, keeping the ZCU102's 7:1
+    /// parallel:broadcasting ratio (used by the Fig. 12 design-space sweep,
+    /// which scales PE count from 14 to 96).
+    pub fn zcu102_with_total_pes(total_pes: usize) -> Self {
+        let broadcasting = (total_pes / 8).max(1);
+        let parallel = total_pes.saturating_sub(broadcasting).max(1);
+        Self {
+            parallel_pes: parallel,
+            broadcasting_pes: broadcasting,
+            sm_modules: parallel,
+            ..Self::zcu102()
+        }
+    }
+
+    /// Total PE count.
+    pub fn total_pes(&self) -> usize {
+        self.parallel_pes + self.broadcasting_pes
+    }
+
+    /// Peak multiply-accumulates per cycle with every PE busy.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        (self.total_pes() * self.pe_geometry.multipliers) as u64
+    }
+
+    /// Peak compute throughput in GMAC/s.
+    pub fn peak_gmacs_per_sec(&self) -> f64 {
+        self.peak_macs_per_cycle() as f64 * self.clock.freq_hz() / 1e9
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero PE counts, zero
+    /// multipliers, zero BRAM/RF sizes or zero softmax modules.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let checks: [(&'static str, bool); 7] = [
+            ("parallel_pes", self.parallel_pes > 0),
+            ("broadcasting_pes", self.broadcasting_pes > 0),
+            ("multipliers", self.pe_geometry.multipliers > 0),
+            ("sm_modules", self.sm_modules > 0),
+            ("weight_bram_bytes", self.weight_bram_bytes > 0),
+            ("input_bram_bytes", self.input_bram_bytes > 0),
+            ("rf_bytes", self.rf_bytes > 0),
+        ];
+        for (param, ok) in checks {
+            if !ok {
+                return Err(SimError::InvalidConfig { param, reason: "must be non-zero".into() });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self::zcu102()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = ChipConfig::zcu102();
+        assert_eq!(c.parallel_pes, 84);
+        assert_eq!(c.broadcasting_pes, 12);
+        assert_eq!(c.total_pes(), 96);
+        assert_eq!(c.pe_geometry.multipliers, 64);
+        assert_eq!(c.sm_modules, 84);
+        assert_eq!(c.weight_bram_bytes, 1 << 20);
+        assert_eq!(c.rf_bytes, 4096);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn peak_compute() {
+        let c = ChipConfig::zcu102();
+        assert_eq!(c.peak_macs_per_cycle(), 96 * 64);
+        // 6144 MACs/cycle at 100 MHz = 614.4 GMAC/s.
+        assert!((c.peak_gmacs_per_sec() - 614.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_configs_keep_ratio() {
+        let c = ChipConfig::zcu102_with_total_pes(96);
+        assert_eq!(c.total_pes(), 96);
+        assert_eq!(c.broadcasting_pes, 12);
+        let small = ChipConfig::zcu102_with_total_pes(14);
+        assert_eq!(small.total_pes(), 14);
+        assert_eq!(small.broadcasting_pes, 1);
+        assert_eq!(small.parallel_pes, 13);
+        assert!(small.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut c = ChipConfig::zcu102();
+        c.parallel_pes = 0;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::zcu102();
+        c.sm_modules = 0;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::zcu102();
+        c.pe_geometry = PeGeometry { multipliers: 0 };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! Off-chip DRAM channel model and traffic accounting.
+//!
+//! MEADOW's entire evaluation is driven by the off-chip bandwidth: the paper
+//! sweeps 1–51 Gbps and attributes latency to data **fetch**, **compute** and
+//! **store** (Figs. 1, 8, 9, 11). This module provides:
+//!
+//! * [`DramModel`] — converts byte volumes to transfer cycles at a given
+//!   bandwidth and clock, with burst-granularity rounding.
+//! * [`TrafficLedger`] — attributes every transferred byte to a
+//!   [`TrafficClass`], which is exactly the decomposition the paper's
+//!   stacked-bar figures report.
+
+use crate::clock::{ClockDomain, Cycles};
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a DRAM transfer was for. Mirrors the categories of the paper's
+/// latency-distribution figures.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum TrafficClass {
+    /// Weight matrices (packed or raw).
+    WeightFetch,
+    /// Input activations / tokens.
+    InputFetch,
+    /// KV-cache reads during attention.
+    KvFetch,
+    /// Intermediate tensors re-read in GEMM mode (Q, scores, softmax output).
+    IntermediateFetch,
+    /// Intermediate tensors written back in GEMM mode.
+    IntermediateStore,
+    /// Final layer outputs written back.
+    OutputStore,
+    /// KV-cache writes.
+    KvStore,
+}
+
+impl TrafficClass {
+    /// Whether the class is a fetch (DRAM → chip).
+    pub fn is_fetch(self) -> bool {
+        matches!(
+            self,
+            TrafficClass::WeightFetch
+                | TrafficClass::InputFetch
+                | TrafficClass::KvFetch
+                | TrafficClass::IntermediateFetch
+        )
+    }
+
+    /// Whether the class is a store (chip → DRAM).
+    pub fn is_store(self) -> bool {
+        !self.is_fetch()
+    }
+
+    /// All classes, for iteration in reports.
+    pub fn all() -> [TrafficClass; 7] {
+        [
+            TrafficClass::WeightFetch,
+            TrafficClass::InputFetch,
+            TrafficClass::KvFetch,
+            TrafficClass::IntermediateFetch,
+            TrafficClass::IntermediateStore,
+            TrafficClass::OutputStore,
+            TrafficClass::KvStore,
+        ]
+    }
+}
+
+/// Byte-and-cycle ledger keyed by [`TrafficClass`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficLedger {
+    bytes: BTreeMap<TrafficClass, u64>,
+    cycles: BTreeMap<TrafficClass, u64>,
+}
+
+impl TrafficLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transfer.
+    pub fn record(&mut self, class: TrafficClass, bytes: u64, cycles: Cycles) {
+        *self.bytes.entry(class).or_insert(0) += bytes;
+        *self.cycles.entry(class).or_insert(0) += cycles.get();
+    }
+
+    /// Bytes recorded for one class.
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        self.bytes.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Cycles recorded for one class.
+    pub fn cycles(&self, class: TrafficClass) -> Cycles {
+        Cycles(self.cycles.get(&class).copied().unwrap_or(0))
+    }
+
+    /// Total bytes fetched (DRAM → chip).
+    pub fn fetch_bytes(&self) -> u64 {
+        TrafficClass::all().iter().filter(|c| c.is_fetch()).map(|&c| self.bytes(c)).sum()
+    }
+
+    /// Total bytes stored (chip → DRAM).
+    pub fn store_bytes(&self) -> u64 {
+        TrafficClass::all().iter().filter(|c| c.is_store()).map(|&c| self.bytes(c)).sum()
+    }
+
+    /// Total fetch cycles.
+    pub fn fetch_cycles(&self) -> Cycles {
+        Cycles(
+            TrafficClass::all()
+                .iter()
+                .filter(|c| c.is_fetch())
+                .map(|&c| self.cycles(c).get())
+                .sum(),
+        )
+    }
+
+    /// Total store cycles.
+    pub fn store_cycles(&self) -> Cycles {
+        Cycles(
+            TrafficClass::all()
+                .iter()
+                .filter(|c| c.is_store())
+                .map(|&c| self.cycles(c).get())
+                .sum(),
+        )
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &TrafficLedger) {
+        for (&class, &b) in &other.bytes {
+            *self.bytes.entry(class).or_insert(0) += b;
+        }
+        for (&class, &c) in &other.cycles {
+            *self.cycles.entry(class).or_insert(0) += c;
+        }
+    }
+}
+
+/// Bandwidth-parameterized DRAM channel.
+///
+/// The paper quotes bandwidth in Gbps against a 100 MHz accelerator clock, so
+/// at 12 Gbps the channel moves `12e9 / 8 / 100e6 = 15` bytes per cycle.
+/// Transfers are rounded up to the burst granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    bandwidth_gbps: f64,
+    clock: ClockDomain,
+    burst_bytes: u64,
+    ledger: TrafficLedger,
+}
+
+impl DramModel {
+    /// Default burst granularity in bytes (a DDR4 x16 burst).
+    pub const DEFAULT_BURST_BYTES: u64 = 64;
+
+    /// Creates a channel at `bandwidth_gbps` against `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the bandwidth is not finite and
+    /// positive, or if `burst_bytes` is zero.
+    pub fn new(bandwidth_gbps: f64, clock: ClockDomain, burst_bytes: u64) -> Result<Self, SimError> {
+        if !bandwidth_gbps.is_finite() || bandwidth_gbps <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                param: "bandwidth_gbps",
+                reason: format!("must be finite and positive, got {bandwidth_gbps}"),
+            });
+        }
+        if burst_bytes == 0 {
+            return Err(SimError::InvalidConfig {
+                param: "burst_bytes",
+                reason: "must be non-zero".to_string(),
+            });
+        }
+        Ok(Self { bandwidth_gbps, clock, burst_bytes, ledger: TrafficLedger::new() })
+    }
+
+    /// Convenience constructor with the default burst size.
+    pub fn with_bandwidth(bandwidth_gbps: f64, clock: ClockDomain) -> Result<Self, SimError> {
+        Self::new(bandwidth_gbps, clock, Self::DEFAULT_BURST_BYTES)
+    }
+
+    /// Channel bandwidth in Gbps.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Bytes the channel moves per accelerator clock cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / 8.0 / self.clock.freq_hz()
+    }
+
+    /// Cycles to transfer `bytes`, including burst rounding. Does not touch
+    /// the ledger; use [`DramModel::transfer`] for accounted transfers.
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycles {
+        if bytes == 0 {
+            return Cycles::ZERO;
+        }
+        let rounded = bytes.div_ceil(self.burst_bytes) * self.burst_bytes;
+        Cycles((rounded as f64 / self.bytes_per_cycle()).ceil() as u64)
+    }
+
+    /// Performs an accounted transfer: computes cycles, records bytes and
+    /// cycles under `class`, and returns the cycle cost.
+    pub fn transfer(&mut self, class: TrafficClass, bytes: u64) -> Cycles {
+        let cycles = self.transfer_cycles(bytes);
+        self.ledger.record(class, bytes, cycles);
+        cycles
+    }
+
+    /// The accumulated traffic ledger.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// Resets the ledger (e.g. between prefill and decode measurements).
+    pub fn reset_ledger(&mut self) {
+        self.ledger = TrafficLedger::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram(gbps: f64) -> DramModel {
+        DramModel::with_bandwidth(gbps, ClockDomain::zcu102()).unwrap()
+    }
+
+    #[test]
+    fn bytes_per_cycle_matches_paper_arithmetic() {
+        assert!((dram(12.0).bytes_per_cycle() - 15.0).abs() < 1e-9);
+        assert!((dram(1.0).bytes_per_cycle() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_cycles_round_up_to_bursts() {
+        let d = dram(12.0);
+        // 1 byte still costs a full 64-byte burst: ceil(64/15) = 5 cycles.
+        assert_eq!(d.transfer_cycles(1), Cycles(5));
+        assert_eq!(d.transfer_cycles(0), Cycles::ZERO);
+        // 1 MB at 15 B/cyc ≈ 69906 cycles.
+        let mb = 1_048_576;
+        let got = d.transfer_cycles(mb).get();
+        assert!((got as f64 - mb as f64 / 15.0).abs() < 16.0, "got {got}");
+    }
+
+    #[test]
+    fn lower_bandwidth_costs_proportionally_more() {
+        let hi = dram(12.0).transfer_cycles(1 << 20).get() as f64;
+        let lo = dram(1.0).transfer_cycles(1 << 20).get() as f64;
+        assert!((lo / hi - 12.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ledger_attribution() {
+        let mut d = dram(6.0);
+        d.transfer(TrafficClass::WeightFetch, 1000);
+        d.transfer(TrafficClass::WeightFetch, 500);
+        d.transfer(TrafficClass::OutputStore, 200);
+        assert_eq!(d.ledger().bytes(TrafficClass::WeightFetch), 1500);
+        assert_eq!(d.ledger().bytes(TrafficClass::OutputStore), 200);
+        assert_eq!(d.ledger().fetch_bytes(), 1500);
+        assert_eq!(d.ledger().store_bytes(), 200);
+        assert!(d.ledger().fetch_cycles() > Cycles::ZERO);
+        d.reset_ledger();
+        assert_eq!(d.ledger().fetch_bytes(), 0);
+    }
+
+    #[test]
+    fn ledger_merge() {
+        let mut a = TrafficLedger::new();
+        a.record(TrafficClass::KvFetch, 10, Cycles(1));
+        let mut b = TrafficLedger::new();
+        b.record(TrafficClass::KvFetch, 5, Cycles(2));
+        b.record(TrafficClass::KvStore, 7, Cycles(3));
+        a.merge(&b);
+        assert_eq!(a.bytes(TrafficClass::KvFetch), 15);
+        assert_eq!(a.cycles(TrafficClass::KvFetch), Cycles(3));
+        assert_eq!(a.bytes(TrafficClass::KvStore), 7);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(DramModel::with_bandwidth(0.0, ClockDomain::zcu102()).is_err());
+        assert!(DramModel::with_bandwidth(-3.0, ClockDomain::zcu102()).is_err());
+        assert!(DramModel::with_bandwidth(f64::NAN, ClockDomain::zcu102()).is_err());
+        assert!(DramModel::new(1.0, ClockDomain::zcu102(), 0).is_err());
+    }
+
+    #[test]
+    fn class_fetch_store_partition() {
+        for c in TrafficClass::all() {
+            assert!(c.is_fetch() ^ c.is_store());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! First-order energy and power model.
+//!
+//! The paper's headline constraint is a sub-10 W power envelope on the
+//! ZCU102. We model energy as `static + Σ (per-event energies)` with
+//! literature-typical coefficients for a 16 nm FPGA fabric and LPDDR4-class
+//! DRAM, and expose average power over a measured interval. The absolute
+//! numbers are first-order, but the *check* — that every evaluated operating
+//! point stays under 10 W — is meaningful because energy scales with the
+//! same MAC/byte counts that drive the latency model.
+
+use crate::clock::{ClockDomain, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients (picojoules per event).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per INT8 MAC, in pJ.
+    pub mac_pj: f64,
+    /// Energy per byte moved over the DRAM channel, in pJ.
+    pub dram_pj_per_byte: f64,
+    /// Energy per byte of BRAM access, in pJ.
+    pub bram_pj_per_byte: f64,
+    /// Energy per byte moved on the NoC, in pJ.
+    pub noc_pj_per_byte: f64,
+    /// Static (leakage + board) power in watts.
+    pub static_watts: f64,
+}
+
+impl EnergyModel {
+    /// Coefficients representative of a 16 nm FPGA + LPDDR4 system.
+    pub fn zcu102() -> Self {
+        Self {
+            mac_pj: 1.5,
+            dram_pj_per_byte: 40.0,
+            bram_pj_per_byte: 1.0,
+            noc_pj_per_byte: 0.5,
+            static_watts: 2.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::zcu102()
+    }
+}
+
+/// Accumulated activity counts for an execution interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ActivityCounts {
+    /// Multiply-accumulate operations executed.
+    pub macs: u64,
+    /// Bytes moved over the DRAM channel (both directions).
+    pub dram_bytes: u64,
+    /// Bytes of BRAM traffic.
+    pub bram_bytes: u64,
+    /// Bytes of NoC traffic.
+    pub noc_bytes: u64,
+}
+
+impl ActivityCounts {
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: ActivityCounts) {
+        self.macs += other.macs;
+        self.dram_bytes += other.dram_bytes;
+        self.bram_bytes += other.bram_bytes;
+        self.noc_bytes += other.noc_bytes;
+    }
+}
+
+/// Energy/power report for one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Dynamic energy in millijoules.
+    pub dynamic_mj: f64,
+    /// Static energy in millijoules.
+    pub static_mj: f64,
+    /// Interval duration in milliseconds.
+    pub duration_ms: f64,
+    /// Average power in watts.
+    pub average_watts: f64,
+}
+
+impl EnergyModel {
+    /// Computes the power report for `activity` spread over `duration` at
+    /// `clock`.
+    ///
+    /// A zero-duration interval reports zero power (no work can have
+    /// happened in zero cycles under this model).
+    pub fn report(&self, activity: ActivityCounts, duration: Cycles, clock: ClockDomain) -> PowerReport {
+        let secs = clock.to_seconds(duration);
+        let dynamic_j = (activity.macs as f64 * self.mac_pj
+            + activity.dram_bytes as f64 * self.dram_pj_per_byte
+            + activity.bram_bytes as f64 * self.bram_pj_per_byte
+            + activity.noc_bytes as f64 * self.noc_pj_per_byte)
+            * 1e-12;
+        let static_j = self.static_watts * secs;
+        let average_watts = if secs > 0.0 { (dynamic_j + static_j) / secs } else { 0.0 };
+        PowerReport {
+            dynamic_mj: dynamic_j * 1e3,
+            static_mj: static_j * 1e3,
+            duration_ms: secs * 1e3,
+            average_watts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_interval_is_static_only() {
+        let m = EnergyModel::zcu102();
+        let r = m.report(ActivityCounts::default(), Cycles(100_000_000), ClockDomain::zcu102());
+        assert!((r.average_watts - m.static_watts).abs() < 1e-9);
+        assert_eq!(r.dynamic_mj, 0.0);
+        assert!((r.duration_ms - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_reports_zero_power() {
+        let m = EnergyModel::zcu102();
+        let r = m.report(ActivityCounts::default(), Cycles::ZERO, ClockDomain::zcu102());
+        assert_eq!(r.average_watts, 0.0);
+    }
+
+    #[test]
+    fn representative_prefill_stays_under_10w() {
+        // One OPT-125M prefill layer scale: ~4 GMAC and ~30 MB of DRAM
+        // traffic over ~27 ms (12 Gbps GEMM numbers).
+        let m = EnergyModel::zcu102();
+        let activity = ActivityCounts {
+            macs: 4_000_000_000,
+            dram_bytes: 30 << 20,
+            bram_bytes: 60 << 20,
+            noc_bytes: 60 << 20,
+            };
+        let r = m.report(activity, Cycles(2_700_000), ClockDomain::zcu102());
+        assert!(r.average_watts < 10.0, "power {}", r.average_watts);
+        assert!(r.average_watts > m.static_watts);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ActivityCounts { macs: 1, dram_bytes: 2, bram_bytes: 3, noc_bytes: 4 };
+        a.merge(ActivityCounts { macs: 10, dram_bytes: 20, bram_bytes: 30, noc_bytes: 40 });
+        assert_eq!(a.macs, 11);
+        assert_eq!(a.dram_bytes, 22);
+        assert_eq!(a.bram_bytes, 33);
+        assert_eq!(a.noc_bytes, 44);
+    }
+}

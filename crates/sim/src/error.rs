@@ -1,0 +1,107 @@
+//! Error type for hardware-model misuse and capacity violations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the hardware models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An allocation did not fit in a BRAM.
+    BramOverflow {
+        /// Human-readable BRAM name ("weight", "input", "output").
+        bram: &'static str,
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes still free.
+        available: usize,
+    },
+    /// A register-file write exceeded its capacity.
+    RegisterFileOverflow {
+        /// Bytes requested.
+        requested: usize,
+        /// Register file capacity in bytes.
+        capacity: usize,
+    },
+    /// A configuration parameter was invalid (zero PEs, zero bandwidth, ...).
+    InvalidConfig {
+        /// Parameter name.
+        param: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A task referenced an unknown dependency or resource in the event
+    /// engine.
+    UnknownId {
+        /// What kind of id was dangling ("task", "resource").
+        kind: &'static str,
+        /// The offending index.
+        id: usize,
+    },
+    /// The event engine detected a dependency on a task submitted later
+    /// (tasks must be submitted in topological order).
+    ForwardDependency {
+        /// The task that declared the dependency.
+        task: usize,
+        /// The not-yet-submitted dependency.
+        dep: usize,
+    },
+    /// A free operation did not match any live allocation.
+    UnknownAllocation {
+        /// The allocation handle.
+        handle: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BramOverflow { bram, requested, available } => write!(
+                f,
+                "{bram} BRAM overflow: requested {requested} B with only {available} B free"
+            ),
+            SimError::RegisterFileOverflow { requested, capacity } => write!(
+                f,
+                "register file overflow: requested {requested} B with capacity {capacity} B"
+            ),
+            SimError::InvalidConfig { param, reason } => {
+                write!(f, "invalid configuration `{param}`: {reason}")
+            }
+            SimError::UnknownId { kind, id } => write!(f, "unknown {kind} id {id}"),
+            SimError::ForwardDependency { task, dep } => {
+                write!(f, "task {task} depends on not-yet-submitted task {dep}")
+            }
+            SimError::UnknownAllocation { handle } => {
+                write!(f, "no live allocation with handle {handle}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let variants = [
+            SimError::BramOverflow { bram: "weight", requested: 10, available: 5 },
+            SimError::RegisterFileOverflow { requested: 10, capacity: 4 },
+            SimError::InvalidConfig { param: "pe", reason: "zero".into() },
+            SimError::UnknownId { kind: "task", id: 3 },
+            SimError::ForwardDependency { task: 1, dep: 2 },
+            SimError::UnknownAllocation { handle: 9 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

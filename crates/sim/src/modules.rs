@@ -1,0 +1,111 @@
+//! LayerNorm and nonlinearity module timing.
+//!
+//! The tile carries 8 LN and 8 NL (ReLU/GeLU) modules (Table 1). Each module
+//! streams one element per cycle; LN needs two passes over a token's features
+//! (statistics, then normalization), NL needs one.
+
+use crate::clock::Cycles;
+use meadow_tensor::activations::Activation;
+use meadow_tensor::layernorm::{layernorm_rows, LayerNormParams};
+use meadow_tensor::{Matrix, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Cycle model of one LayerNorm module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LayerNormUnit;
+
+impl LayerNormUnit {
+    /// Cycles to normalize one token of `features` features: one pass to
+    /// accumulate mean/variance, one pass to normalize.
+    pub fn token_cycles(self, features: usize) -> Cycles {
+        Cycles(2 * features as u64)
+    }
+
+    /// Cycles for `tokens` tokens sharing `units` modules (tokens are
+    /// distributed round-robin; modules work independently).
+    pub fn batch_cycles(self, tokens: usize, features: usize, units: usize) -> Cycles {
+        if units == 0 {
+            return Cycles::ZERO;
+        }
+        let per_unit_tokens = (tokens as u64).div_ceil(units as u64);
+        Cycles(per_unit_tokens * self.token_cycles(features).get())
+    }
+
+    /// Functional evaluation (delegates to the tensor reference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying reference.
+    pub fn execute(
+        self,
+        x: &Matrix<f32>,
+        params: &LayerNormParams,
+    ) -> Result<Matrix<f32>, TensorError> {
+        layernorm_rows(x, params)
+    }
+}
+
+/// Cycle model of one nonlinearity module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NonlinearUnit;
+
+impl NonlinearUnit {
+    /// Cycles for one token of `features` activations (streaming, 1/cycle).
+    pub fn token_cycles(self, features: usize) -> Cycles {
+        Cycles(features as u64)
+    }
+
+    /// Cycles for a batch across `units` modules.
+    pub fn batch_cycles(self, tokens: usize, features: usize, units: usize) -> Cycles {
+        if units == 0 {
+            return Cycles::ZERO;
+        }
+        let per_unit_tokens = (tokens as u64).div_ceil(units as u64);
+        Cycles(per_unit_tokens * self.token_cycles(features).get())
+    }
+
+    /// Functional evaluation on INT8 data under a symmetric scale.
+    pub fn execute_i8(self, activation: Activation, data: &mut [i8], scale: f32) {
+        for v in data {
+            *v = activation.apply_i8(*v, scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_needs_two_passes() {
+        assert_eq!(LayerNormUnit.token_cycles(768), Cycles(1536));
+    }
+
+    #[test]
+    fn batch_distributes_over_units() {
+        // 512 tokens over 8 units = 64 tokens/unit.
+        assert_eq!(LayerNormUnit.batch_cycles(512, 768, 8), Cycles(64 * 1536));
+        assert_eq!(NonlinearUnit.batch_cycles(512, 3072, 8), Cycles(64 * 3072));
+        // Remainders round up.
+        assert_eq!(NonlinearUnit.batch_cycles(9, 10, 8), Cycles(20));
+    }
+
+    #[test]
+    fn zero_units_is_absent_hardware() {
+        assert_eq!(LayerNormUnit.batch_cycles(10, 10, 0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn nl_functional_applies_activation() {
+        let mut data = [-10i8, 5, -3, 8];
+        NonlinearUnit.execute_i8(Activation::Relu, &mut data, 0.1);
+        assert_eq!(data, [0, 5, 0, 8]);
+    }
+
+    #[test]
+    fn ln_functional_delegates() {
+        let x = Matrix::from_rows(&[&[1.0f32, 3.0]]).unwrap();
+        let y = LayerNormUnit.execute(&x, &LayerNormParams::identity(2)).unwrap();
+        assert!(y.row(0)[0] < 0.0 && y.row(0)[1] > 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Network-on-chip interconnect model.
+//!
+//! All BRAM↔PE, PE↔SM and PE↔PE movement in MEADOW rides the NoC (Fig. 2a).
+//! On the ZCU102 build the NoC is a wide crossbar whose links move a fixed
+//! number of bytes per cycle; TPHS pipeline-register forwarding consumes one
+//! link per producer/consumer pair. The model charges cycles per transfer and
+//! tracks aggregate utilization so executors can verify that the NoC is not
+//! the bottleneck (it never is at Table 1 widths, which is itself a result
+//! worth asserting in tests).
+
+use crate::clock::Cycles;
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+
+/// NoC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Bytes one link moves per cycle.
+    pub link_bytes_per_cycle: u64,
+    /// Number of independent links (crossbar ports).
+    pub links: usize,
+}
+
+impl NocConfig {
+    /// ZCU102 default: 64-byte links, one per PE/module port (96 PEs + 100
+    /// auxiliary module ports).
+    pub fn zcu102() -> Self {
+        Self { link_bytes_per_cycle: 64, links: 196 }
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self::zcu102()
+    }
+}
+
+/// NoC transfer-cost model with utilization accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Noc {
+    config: NocConfig,
+    total_bytes: u64,
+    total_link_cycles: u64,
+}
+
+impl Noc {
+    /// Creates a NoC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero link width or zero links.
+    pub fn new(config: NocConfig) -> Result<Self, SimError> {
+        if config.link_bytes_per_cycle == 0 {
+            return Err(SimError::InvalidConfig {
+                param: "link_bytes_per_cycle",
+                reason: "must be non-zero".into(),
+            });
+        }
+        if config.links == 0 {
+            return Err(SimError::InvalidConfig { param: "links", reason: "must be non-zero".into() });
+        }
+        Ok(Self { config, total_bytes: 0, total_link_cycles: 0 })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> NocConfig {
+        self.config
+    }
+
+    /// Cycles for a point-to-point transfer of `bytes` over one link.
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycles {
+        Cycles::for_throughput(bytes, self.config.link_bytes_per_cycle)
+    }
+
+    /// Performs an accounted transfer over one link.
+    pub fn transfer(&mut self, bytes: u64) -> Cycles {
+        let cycles = self.transfer_cycles(bytes);
+        self.total_bytes += bytes;
+        self.total_link_cycles += cycles.get();
+        cycles
+    }
+
+    /// Aggregate link-cycles consumed (for utilization checks: the NoC is
+    /// saturated when `total_link_cycles / links` approaches the makespan).
+    pub fn total_link_cycles(&self) -> u64 {
+        self.total_link_cycles
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Fraction of the NoC's aggregate capacity consumed over a window of
+    /// `makespan` cycles. Values ≪ 1 mean the NoC is not a bottleneck.
+    pub fn utilization(&self, makespan: Cycles) -> f64 {
+        if makespan == Cycles::ZERO {
+            return 0.0;
+        }
+        self.total_link_cycles as f64 / (makespan.get() as f64 * self.config.links as f64)
+    }
+}
+
+impl Default for Noc {
+    fn default() -> Self {
+        Self::new(NocConfig::default()).expect("default config is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_rounds_up() {
+        let noc = Noc::default();
+        assert_eq!(noc.transfer_cycles(0), Cycles::ZERO);
+        assert_eq!(noc.transfer_cycles(1), Cycles(1));
+        assert_eq!(noc.transfer_cycles(64), Cycles(1));
+        assert_eq!(noc.transfer_cycles(65), Cycles(2));
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut noc = Noc::default();
+        noc.transfer(128);
+        noc.transfer(64);
+        assert_eq!(noc.total_bytes(), 192);
+        assert_eq!(noc.total_link_cycles(), 3);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut noc = Noc::default();
+        noc.transfer(64 * 196);
+        let u = noc.utilization(Cycles(1));
+        assert!((u - 1.0).abs() < 1e-9);
+        assert_eq!(noc.utilization(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Noc::new(NocConfig { link_bytes_per_cycle: 0, links: 4 }).is_err());
+        assert!(Noc::new(NocConfig { link_bytes_per_cycle: 8, links: 0 }).is_err());
+    }
+}

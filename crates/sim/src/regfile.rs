@@ -1,0 +1,167 @@
+//! Double-buffered register files and pipeline registers.
+//!
+//! Every PE carries input/weight/output register files plus a pipeline
+//! register (PREG), all double-buffered (Fig. 2b) so that the next operand
+//! set loads while the current one computes. The model tracks capacity and
+//! the ping-pong buffer state; the event engine charges the actual overlap.
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+
+/// A double-buffered register file of fixed byte capacity.
+///
+/// Writes target the *back* buffer; [`DoubleBufferedRf::swap`] makes the back
+/// buffer current (compute reads from the front). Capacity is per buffer, as
+/// in the paper's 4 KB per-RF figure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DoubleBufferedRf {
+    capacity: usize,
+    front_bytes: usize,
+    back_bytes: usize,
+    swaps: u64,
+}
+
+impl DoubleBufferedRf {
+    /// Creates an empty register file with `capacity` bytes per buffer.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, front_bytes: 0, back_bytes: 0, swaps: 0 }
+    }
+
+    /// Per-buffer capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes in the buffer compute currently reads from.
+    pub fn front_bytes(&self) -> usize {
+        self.front_bytes
+    }
+
+    /// Bytes staged in the back buffer.
+    pub fn back_bytes(&self) -> usize {
+        self.back_bytes
+    }
+
+    /// Number of ping-pong swaps performed.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Stages `bytes` into the back buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RegisterFileOverflow`] if the back buffer would
+    /// exceed capacity.
+    pub fn stage(&mut self, bytes: usize) -> Result<(), SimError> {
+        let new = self.back_bytes + bytes;
+        if new > self.capacity {
+            return Err(SimError::RegisterFileOverflow { requested: new, capacity: self.capacity });
+        }
+        self.back_bytes = new;
+        Ok(())
+    }
+
+    /// Swaps buffers: the staged data becomes current, the old front is
+    /// discarded (consumed by compute).
+    pub fn swap(&mut self) {
+        self.front_bytes = self.back_bytes;
+        self.back_bytes = 0;
+        self.swaps += 1;
+    }
+
+    /// Clears both buffers.
+    pub fn reset(&mut self) {
+        self.front_bytes = 0;
+        self.back_bytes = 0;
+    }
+}
+
+/// A pipeline register (PREG) between TPHS stages: a capacity-1 slot that is
+/// either empty or holds one wave's intermediate.
+///
+/// The flow-shop scheduler uses occupancy to model stage blocking: a producer
+/// stalls while the downstream PREG is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PipelineReg {
+    occupied: bool,
+}
+
+impl PipelineReg {
+    /// An empty pipeline register.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the register currently holds a value.
+    pub fn is_occupied(self) -> bool {
+        self.occupied
+    }
+
+    /// Producer side: attempts to deposit; returns `false` (stall) if full.
+    pub fn try_push(&mut self) -> bool {
+        if self.occupied {
+            false
+        } else {
+            self.occupied = true;
+            true
+        }
+    }
+
+    /// Consumer side: attempts to take; returns `false` if empty.
+    pub fn try_pop(&mut self) -> bool {
+        if self.occupied {
+            self.occupied = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_swap_cycle() {
+        let mut rf = DoubleBufferedRf::new(100);
+        rf.stage(60).unwrap();
+        assert_eq!(rf.front_bytes(), 0);
+        assert_eq!(rf.back_bytes(), 60);
+        rf.swap();
+        assert_eq!(rf.front_bytes(), 60);
+        assert_eq!(rf.back_bytes(), 0);
+        assert_eq!(rf.swaps(), 1);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut rf = DoubleBufferedRf::new(10);
+        rf.stage(6).unwrap();
+        let err = rf.stage(5).unwrap_err();
+        assert_eq!(err, SimError::RegisterFileOverflow { requested: 11, capacity: 10 });
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut rf = DoubleBufferedRf::new(10);
+        rf.stage(4).unwrap();
+        rf.swap();
+        rf.stage(4).unwrap();
+        rf.reset();
+        assert_eq!(rf.front_bytes(), 0);
+        assert_eq!(rf.back_bytes(), 0);
+    }
+
+    #[test]
+    fn preg_blocking_semantics() {
+        let mut p = PipelineReg::new();
+        assert!(!p.is_occupied());
+        assert!(p.try_push());
+        assert!(p.is_occupied());
+        assert!(!p.try_push(), "second push must stall");
+        assert!(p.try_pop());
+        assert!(!p.try_pop(), "pop on empty must fail");
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// A matrix was constructed with a data length that does not match
+    /// `rows * cols`.
+    ShapeDataMismatch {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+        /// Length of the provided backing data.
+        len: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A row/column index was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index as `(row, col)`.
+        index: (usize, usize),
+        /// Matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// A parameter that must be non-zero (tile size, group size, ...) was zero.
+    ZeroParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// Ragged input: rows of differing lengths were supplied.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the first offending row.
+        found: usize,
+    },
+    /// A quantization scale was zero, negative, NaN or infinite.
+    InvalidScale {
+        /// The offending scale value.
+        scale: f32,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { rows, cols, len } => write!(
+                f,
+                "data length {len} does not match shape {rows}x{cols} ({} elements)",
+                rows * cols
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => write!(
+                f,
+                "incompatible shapes for {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            TensorError::ZeroParameter { name } => {
+                write!(f, "parameter `{name}` must be non-zero")
+            }
+            TensorError::RaggedRows { expected, found } => write!(
+                f,
+                "ragged rows: expected length {expected}, found length {found}"
+            ),
+            TensorError::InvalidScale { scale } => {
+                write!(f, "invalid quantization scale {scale}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            TensorError::ShapeDataMismatch { rows: 2, cols: 3, len: 5 },
+            TensorError::ShapeMismatch { lhs: (1, 2), rhs: (3, 4), op: "matmul" },
+            TensorError::IndexOutOfBounds { index: (9, 9), shape: (2, 2) },
+            TensorError::ZeroParameter { name: "tile" },
+            TensorError::RaggedRows { expected: 3, found: 2 },
+            TensorError::InvalidScale { scale: 0.0 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,68 @@
+//! Dataflow planner: sweep the (bandwidth × PE) design space and choose
+//! GEMM or TPHS for the attention chain at each point (Fig. 12a), with the
+//! roofline view of the four corner configurations (Fig. 12b).
+//!
+//! ```text
+//! cargo run --release --example dataflow_planner
+//! ```
+
+use meadow::core::planner::{dataflow_grid, paper_grid_axes};
+use meadow::core::roofline::{attention_roofline_point, RooflineModel};
+use meadow::dataflow::AttentionDataflow;
+use meadow::packing::PackingConfig;
+use meadow::sim::ChipConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = meadow::models::presets::opt_125m();
+    let (bws, pes) = paper_grid_axes();
+    println!("Dataflow planner for the Q+SM(QKT)xV chain of {} (512-token prefill)\n", model.name);
+
+    let grid = dataflow_grid(&model, None, PackingConfig::default(), &bws, &pes, 512)?;
+    // Render the Fig. 12a-style matrix: rows = bandwidth, cols = PE count.
+    print!("{:>10} |", "BW \\ PEs");
+    for pe in &pes {
+        print!(" {pe:>14}");
+    }
+    println!();
+    println!("{}", "-".repeat(12 + 15 * pes.len()));
+    for &bw in &bws {
+        print!("{bw:>7} Gbps|");
+        for &pe in &pes {
+            let e = grid
+                .iter()
+                .find(|e| e.bandwidth_gbps == bw && e.total_pes == pe)
+                .expect("grid covers all points");
+            let tag = match e.best {
+                AttentionDataflow::Gemm => "GEMM",
+                AttentionDataflow::Tphs => "TPHS",
+            };
+            print!(" {:>6.1}ms {tag:<5}", e.best_ms());
+        }
+        println!();
+    }
+
+    println!("\nRoofline view of the corner configurations (Fig. 12b):");
+    for (bw, pe) in [(1.0, 14), (1.0, 96), (51.0, 14), (51.0, 96)] {
+        let chip = ChipConfig::zcu102_with_total_pes(pe);
+        let roof = RooflineModel::new(&chip, bw);
+        println!(
+            "  (BW {bw:>4} Gbps, {pe:>2} PEs): peak {:>6.1} GMAC/s, knee at {:>6.1} MACs/B",
+            roof.peak_gmacs,
+            roof.knee()
+        );
+        for df in [AttentionDataflow::Gemm, AttentionDataflow::Tphs] {
+            let p = attention_roofline_point(&model, &chip, bw, df, 512)?;
+            println!(
+                "      {:<4}  intensity {:>6.1} MACs/B  achieved {:>6.1} GMAC/s (roof {:>6.1})",
+                p.name,
+                p.operational_intensity,
+                p.achieved_gmacs,
+                roof.roof_at(p.operational_intensity)
+            );
+        }
+    }
+    println!("\nReading: TPHS's high operational intensity keeps it fast when bandwidth is");
+    println!("scarce; once the channel is wide (51 Gbps), GEMM's full-array parallelism wins —");
+    println!("the same crossover as Fig. 12a of the paper.");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Weight-packing explorer: walk one weight matrix through every stage of
+//! §5 — chunk decomposition, naive packing, packet-specific precision and
+//! frequency-aware re-indexing — and inspect the result, including the
+//! before/after chunk-ID histograms of Figs. 10b/10c.
+//!
+//! ```text
+//! cargo run --release --example packing_explorer
+//! ```
+
+use meadow::models::synthetic::{generate_matrix, profile_for, matrix_seed};
+use meadow::models::MatrixKind;
+use meadow::packing::chunk::{decompose, reduction_ratio};
+use meadow::packing::reindex::frequency_reindex;
+use meadow::packing::stats::{IdHistogram, PackingSummary};
+use meadow::packing::{ChunkConfig, PackedWeights, PackingConfig, PackingLevel};
+
+fn ascii_bar(count: u64, max: u64, width: usize) -> String {
+    let filled = (count as f64 / max.max(1) as f64 * width as f64).round() as usize;
+    "#".repeat(filled.min(width))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = meadow::models::presets::opt_125m();
+    let kind = MatrixKind::MlpUp;
+    let (rows, cols) = model.matrix_dims(kind);
+    // Use a row slice of the paper's anchor matrix to keep the demo fast.
+    let rows = rows.min(512);
+    let profile = profile_for(&model, kind, 0);
+    let seed = matrix_seed(&model, kind, 0);
+    let w = generate_matrix(rows, cols, profile, 2, seed)?;
+    println!(
+        "Matrix: {} decoder-1 MLP1 slice ({rows}x{cols}, {} KB raw INT8)\n",
+        model.name,
+        rows * cols / 1024
+    );
+
+    // Stage 1: chunk decomposition.
+    let (unique, encoded) = decompose(&w, ChunkConfig::default())?;
+    println!("Stage 1 — indexing:");
+    println!("  chunks: {} total, {} unique", encoded.len(), unique.len());
+    println!("  reduction ratio: {:.0}", reduction_ratio(&unique, &encoded));
+
+    // Stages 2-4: the three packing levels.
+    println!("\nStages 2-4 — packing levels:");
+    for level in PackingLevel::all() {
+        let packed = PackedWeights::pack(&w, &PackingConfig::default(), level)?;
+        let s = PackingSummary::of(&packed);
+        println!(
+            "  {:<16} {:>7} B -> {:>7} B  ({:.2}x, {:.1} stream bits/id)",
+            format!("{level:?}:"),
+            s.raw_bytes,
+            s.packed_bytes,
+            s.compression_ratio,
+            s.stream_bits_per_id
+        );
+        // Round-trip check: packing is lossless by construction.
+        assert_eq!(packed.unpack()?, w, "pack/unpack must be bit-exact");
+    }
+    println!("  (every level verified bit-exact against the original)");
+
+    // Histograms before/after re-indexing.
+    let bins = 12;
+    let before = IdHistogram::new(&encoded, unique.len(), bins);
+    let re = frequency_reindex(&unique, &encoded)?;
+    let after = IdHistogram::new(&re.encoded, re.unique.len(), bins);
+    let max = before.counts.iter().chain(&after.counts).copied().max().unwrap_or(1);
+    println!("\nChunk-ID histogram (Figs. 10b/10c): before -> after frequency-aware re-indexing");
+    for i in 0..bins {
+        println!(
+            "  ids {:>5}+  {:<24} | {:<24}",
+            before.bin_edges[i],
+            ascii_bar(before.counts[i], max, 24),
+            ascii_bar(after.counts[i], max, 24),
+        );
+    }
+    println!(
+        "\nHead-bin mass: {:.0}% -> {:.0}% — low IDs dominate after re-indexing, so",
+        before.head_mass(1) * 100.0,
+        after.head_mass(1) * 100.0
+    );
+    println!("packets can use low encoding precisions far more often.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: measure MEADOW against the GEMM baseline on OPT-125M.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use meadow::core::baselines::Baseline;
+use meadow::core::report::{fmt_ms, fmt_speedup, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = meadow::models::presets::opt_125m();
+    let bandwidth_gbps = 12.0;
+    println!(
+        "MEADOW quickstart: {} on the ZCU102 tile at {bandwidth_gbps} Gbps off-chip bandwidth\n",
+        model.name
+    );
+
+    let gemm = Baseline::Gemm.engine(model.clone(), bandwidth_gbps)?;
+    let meadow = Baseline::Meadow.engine(model, bandwidth_gbps)?;
+
+    let mut table = Table::new(["metric", "GEMM baseline", "MEADOW", "speedup"]);
+    let g_ttft = gemm.prefill_latency(512)?.total_ms();
+    let m_ttft = meadow.prefill_latency(512)?.total_ms();
+    table.row([
+        "TTFT, 512-token prompt".to_string(),
+        format!("{} ms", fmt_ms(g_ttft)),
+        format!("{} ms", fmt_ms(m_ttft)),
+        fmt_speedup(g_ttft / m_ttft),
+    ]);
+    let g_tbt = gemm.decode_latency(512, 64)?.total_ms();
+    let m_tbt = meadow.decode_latency(512, 64)?.total_ms();
+    table.row([
+        "TBT, 64th generated token".to_string(),
+        format!("{} ms", fmt_ms(g_tbt)),
+        format!("{} ms", fmt_ms(m_tbt)),
+        fmt_speedup(g_tbt / m_tbt),
+    ]);
+    let g_e2e = gemm.end_to_end_latency(512, 64)?.total_ms;
+    let m_e2e = meadow.end_to_end_latency(512, 64)?.total_ms;
+    table.row([
+        "end-to-end, 512 prompt + 64 generated".to_string(),
+        format!("{} ms", fmt_ms(g_e2e)),
+        format!("{} ms", fmt_ms(m_e2e)),
+        fmt_speedup(g_e2e / m_e2e),
+    ]);
+    print!("{table}");
+
+    // Where does the win come from? Compare the traffic ledgers.
+    let g = gemm.prefill_latency(512)?;
+    let m = meadow.prefill_latency(512)?;
+    println!("\nDRAM traffic per prefill (whole model):");
+    println!(
+        "  GEMM:   {:>7.1} MB fetched, {:>6.1} MB stored",
+        g.ledger.fetch_bytes() as f64 / 1e6,
+        g.ledger.store_bytes() as f64 / 1e6
+    );
+    println!(
+        "  MEADOW: {:>7.1} MB fetched, {:>6.1} MB stored",
+        m.ledger.fetch_bytes() as f64 / 1e6,
+        m.ledger.store_bytes() as f64 / 1e6
+    );
+    let power = meadow.power_report(&m, 512, 512);
+    println!(
+        "\nMEADOW average power during prefill: {:.1} W (sub-10 W edge envelope)",
+        power.average_watts
+    );
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Property tests: the TPHS dataflow computes *bit-identical* attention
+//! outputs to the GEMM reference across randomized shapes, weights, scales
+//! and softmax datapaths (§4's implicit correctness claim).
+
+use meadow::dataflow::functional::{
+    attention_reference, attention_tphs_functional, AttentionProblem, AttentionScales,
+};
+use meadow::tensor::fixed::ExpLut;
+use meadow::tensor::softmax::SoftmaxKind;
+use meadow::tensor::Matrix;
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = AttentionProblem> {
+    // heads ∈ {1,2,4}, head_dim ∈ {4,8,16}, tokens/context small but varied.
+    (
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        prop_oneof![Just(4usize), Just(8), Just(16)],
+        1..=6usize,
+        1..=10usize,
+        any::<u64>(),
+        prop_oneof![Just(SoftmaxKind::Exact), Just(SoftmaxKind::Lut)],
+    )
+        .prop_flat_map(|(heads, hd, t, c, seed, softmax)| {
+            let d = heads * hd;
+            let n = t * d + d * d + 2 * c * d;
+            proptest::collection::vec(-50i8..=50, n).prop_map(move |data| {
+                let mut it = data.into_iter();
+                let mut take = |n: usize| -> Vec<i8> { (&mut it).take(n).collect() };
+                let _ = seed;
+                AttentionProblem {
+                    x: Matrix::from_vec(t, d, take(t * d)).unwrap(),
+                    wq: Matrix::from_vec(d, d, take(d * d)).unwrap(),
+                    k_cache: Matrix::from_vec(c, d, take(c * d)).unwrap(),
+                    v_cache: Matrix::from_vec(c, d, take(c * d)).unwrap(),
+                    heads,
+                    scales: AttentionScales::default(),
+                    softmax,
+                }
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tphs_equals_gemm_reference(p in arb_problem(), parallelism in 1..=8usize) {
+        let lut = ExpLut::hardware_default();
+        let reference = attention_reference(&p, &lut).unwrap();
+        let (tphs, cycles) = attention_tphs_functional(&p, parallelism, &lut).unwrap();
+        prop_assert_eq!(tphs, reference);
+        prop_assert!(cycles.get() > 0);
+    }
+
+    #[test]
+    fn token_parallelism_never_changes_results(p in arb_problem()) {
+        let lut = ExpLut::hardware_default();
+        let (serial, _) = attention_tphs_functional(&p, 1, &lut).unwrap();
+        for parallelism in [2usize, 3, 16] {
+            let (parallel, _) = attention_tphs_functional(&p, parallelism, &lut).unwrap();
+            prop_assert_eq!(&parallel, &serial, "P={}", parallelism);
+        }
+    }
+
+    #[test]
+    fn scales_affect_magnitude_not_equivalence(
+        p in arb_problem(),
+        q_scale in 0.01f32..0.1,
+        out_scale in 0.01f32..0.1,
+    ) {
+        let mut p = p;
+        p.scales.q = q_scale;
+        p.scales.out = out_scale;
+        let lut = ExpLut::hardware_default();
+        let reference = attention_reference(&p, &lut).unwrap();
+        let (tphs, _) = attention_tphs_functional(&p, 4, &lut).unwrap();
+        prop_assert_eq!(tphs, reference);
+    }
+}
+
+#[test]
+fn lut_and_exact_softmax_agree_closely_on_attention_outputs() {
+    // The LUT datapath is an approximation of exp(); outputs should differ
+    // from the exact-softmax run by at most a couple of quantization steps.
+    let lut = ExpLut::hardware_default();
+    let mk = |softmax| AttentionProblem {
+        x: Matrix::from_vec(4, 16, (0..64).map(|i| (i % 23) as i8 - 11).collect()).unwrap(),
+        wq: Matrix::from_vec(16, 16, (0..256).map(|i| (i % 17) as i8 - 8).collect()).unwrap(),
+        k_cache: Matrix::from_vec(6, 16, (0..96).map(|i| (i % 19) as i8 - 9).collect()).unwrap(),
+        v_cache: Matrix::from_vec(6, 16, (0..96).map(|i| (i % 13) as i8 - 6).collect()).unwrap(),
+        heads: 2,
+        scales: AttentionScales::default(),
+        softmax,
+    };
+    let exact = attention_reference(&mk(SoftmaxKind::Exact), &lut).unwrap();
+    let approx = attention_reference(&mk(SoftmaxKind::Lut), &lut).unwrap();
+    for (a, b) in exact.as_slice().iter().zip(approx.as_slice()) {
+        assert!((i16::from(*a) - i16::from(*b)).abs() <= 3, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: weight packing is lossless for *arbitrary* INT8 matrices
+//! at every optimization level — the reproduction's form of the paper's
+//! "approximation-less" claim (§5).
+
+use meadow::packing::{ChunkConfig, PackedWeights, PackingConfig, PackingLevel};
+use meadow::tensor::Matrix;
+use proptest::prelude::*;
+
+fn arb_matrix(max_rows: usize, max_chunk_cols: usize) -> impl Strategy<Value = Matrix<i8>> {
+    (1..=max_rows, 1..=max_chunk_cols).prop_flat_map(|(rows, chunk_cols)| {
+        let cols = chunk_cols * 2;
+        proptest::collection::vec(any::<i8>(), rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized to shape"))
+    })
+}
+
+/// Matrices with heavy chunk redundancy (long runs of few values), the
+/// regime packing is designed for.
+fn arb_redundant_matrix() -> impl Strategy<Value = Matrix<i8>> {
+    (1..=24usize, 1..=32usize, proptest::collection::vec(any::<i8>(), 1..=4)).prop_flat_map(
+        |(rows, chunk_cols, palette)| {
+            let cols = chunk_cols * 2;
+            proptest::collection::vec(0..palette.len(), rows * cols).prop_map(move |picks| {
+                let data: Vec<i8> = picks.into_iter().map(|i| palette[i]).collect();
+                Matrix::from_vec(rows, cols, data).expect("sized to shape")
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pack_unpack_is_bit_exact_for_arbitrary_matrices(w in arb_matrix(24, 32)) {
+        for level in PackingLevel::all() {
+            let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
+            prop_assert_eq!(packed.unpack().unwrap(), w.clone(), "level {:?}", level);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_is_bit_exact_for_redundant_matrices(w in arb_redundant_matrix()) {
+        for level in PackingLevel::all() {
+            let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
+            prop_assert_eq!(packed.unpack().unwrap(), w.clone(), "level {:?}", level);
+        }
+    }
+
+    #[test]
+    fn round_trip_survives_any_payload_width(
+        w in arb_redundant_matrix(),
+        payload in 16u32..=256,
+    ) {
+        let cfg = PackingConfig { payload_bits: payload, ..PackingConfig::default() };
+        for level in PackingLevel::all() {
+            match PackedWeights::pack(&w, &cfg, level) {
+                Ok(packed) => prop_assert_eq!(packed.unpack().unwrap(), w.clone()),
+                // Narrow payloads may legitimately reject wide IDs.
+                Err(meadow::packing::PackingError::PayloadTooNarrow { .. }) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_survives_chunk_sizes(
+        seed_rows in 1..=16usize,
+        chunk_elems in 1..=8usize,
+        chunks_per_row in 1..=16usize,
+        palette in proptest::collection::vec(any::<i8>(), 1..=3),
+    ) {
+        let cols = chunk_elems * chunks_per_row;
+        let data: Vec<i8> =
+            (0..seed_rows * cols).map(|i| palette[i % palette.len()]).collect();
+        let w = Matrix::from_vec(seed_rows, cols, data).unwrap();
+        let cfg = PackingConfig { chunk: ChunkConfig { chunk_elems }, ..PackingConfig::default() };
+        for level in PackingLevel::all() {
+            let packed = PackedWeights::pack(&w, &cfg, level).unwrap();
+            prop_assert_eq!(packed.unpack().unwrap(), w.clone());
+        }
+    }
+
+    #[test]
+    fn packed_size_never_exceeds_uniform_plus_table(w in arb_matrix(16, 16)) {
+        // Packet-specific precision can never do worse than one maximal
+        // packet per ID group plus the unique matrix.
+        let cfg = PackingConfig::default();
+        let naive = PackedWeights::pack(&w, &cfg, PackingLevel::Naive).unwrap();
+        let freq = PackedWeights::pack(&w, &cfg, PackingLevel::FrequencyAware).unwrap();
+        // Frequency-aware packets hold at least as many IDs per packet as
+        // uniform-precision packets, so the packet count cannot grow.
+        prop_assert!(freq.meta().packets <= naive.meta().packets.max(1) * 2);
+    }
+
+    #[test]
+    fn decode_ids_matches_original_encoding(w in arb_redundant_matrix()) {
+        let (unique, encoded) =
+            meadow::packing::chunk::decompose(&w, ChunkConfig::default()).unwrap();
+        let packed = PackedWeights::from_decomposition(
+            unique,
+            encoded.clone(),
+            &PackingConfig::default(),
+            PackingLevel::PacketSpecific,
+        )
+        .unwrap();
+        prop_assert_eq!(packed.decode_ids().unwrap(), encoded.ids().to_vec());
+    }
+}
+
+#[test]
+fn empty_and_degenerate_matrices() {
+    for (rows, cols) in [(0usize, 0usize), (1, 2), (1, 64)] {
+        let w = Matrix::<i8>::zeros(rows, cols);
+        for level in PackingLevel::all() {
+            let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
+            assert_eq!(packed.unpack().unwrap(), w);
+        }
+    }
+}

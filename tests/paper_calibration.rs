@@ -1,0 +1,167 @@
+//! Paper-shape calibration: the headline results of §6, asserted with
+//! tolerance bands.
+//!
+//! Absolute numbers cannot match the authors' physical ZCU102 board — the
+//! substrate here is a simulator — but the *shape* must hold: who wins, by
+//! roughly what factor, and where crossovers fall. Bands below bracket the
+//! paper's reported ranges with modest slack; `EXPERIMENTS.md` records the
+//! exact measured values next to the paper's.
+
+use meadow::core::baselines::Baseline;
+use meadow::core::planner::{dataflow_grid, paper_grid_axes};
+use meadow::core::vit::vit_speedup;
+use meadow::core::MeadowEngine;
+use meadow::dataflow::AttentionDataflow;
+use meadow::models::presets;
+use meadow::models::weights::ModelPackingStats;
+use meadow::packing::{PackingConfig, PackingLevel};
+use std::sync::OnceLock;
+
+fn engine(baseline: Baseline, model: &meadow::models::TransformerConfig, bw: f64) -> MeadowEngine {
+    static STATS: OnceLock<std::sync::Mutex<std::collections::BTreeMap<String, ModelPackingStats>>> =
+        OnceLock::new();
+    let cache = STATS.get_or_init(Default::default);
+    let config = baseline.engine_config(model.clone(), bw);
+    let stats = if config.plan.packing.is_some() {
+        let mut cache = cache.lock().unwrap();
+        Some(
+            cache
+                .entry(model.name.clone())
+                .or_insert_with(|| {
+                    ModelPackingStats::compute(
+                        model,
+                        &PackingConfig::default(),
+                        PackingLevel::FrequencyAware,
+                    )
+                    .expect("stats computable")
+                })
+                .clone(),
+        )
+    } else {
+        None
+    };
+    MeadowEngine::with_packing_stats(config, stats).expect("engine constructible")
+}
+
+fn prefill_speedup(model: &meadow::models::TransformerConfig, bw: f64, tokens: usize) -> f64 {
+    let g = engine(Baseline::Gemm, model, bw).prefill_latency(tokens).unwrap().total_ms();
+    let m = engine(Baseline::Meadow, model, bw).prefill_latency(tokens).unwrap().total_ms();
+    g / m
+}
+
+fn decode_speedup(model: &meadow::models::TransformerConfig, bw: f64, idx: usize) -> f64 {
+    let g = engine(Baseline::Gemm, model, bw).decode_latency(512, idx).unwrap().total_ms();
+    let m = engine(Baseline::Meadow, model, bw).decode_latency(512, idx).unwrap().total_ms();
+    g / m
+}
+
+#[test]
+fn fig6_prefill_speedups_in_band() {
+    // Paper: 125M 1.5-1.7x @ 12 Gbps, 1.57-2.5x @ 1 Gbps;
+    //        1.3B 1.5-1.6x @ 12 Gbps, 1.55-2x @ 1 Gbps.
+    let m125 = presets::opt_125m();
+    for tokens in [64usize, 512] {
+        let s12 = prefill_speedup(&m125, 12.0, tokens);
+        assert!((1.3..=1.8).contains(&s12), "125M @12 t={tokens}: {s12}");
+        let s1 = prefill_speedup(&m125, 1.0, tokens);
+        assert!((1.4..=2.6).contains(&s1), "125M @1 t={tokens}: {s1}");
+    }
+    let m13 = presets::opt_1_3b();
+    let s12 = prefill_speedup(&m13, 12.0, 512);
+    assert!((1.25..=1.7).contains(&s12), "1.3B @12: {s12}");
+    let s1 = prefill_speedup(&m13, 1.0, 512);
+    assert!((1.4..=2.2).contains(&s1), "1.3B @1: {s1}");
+}
+
+#[test]
+fn fig7_decode_speedups_in_band() {
+    // Paper: 125M 1.4-1.46x @ 12 Gbps, 1.4-1.47x @ 1 Gbps;
+    //        1.3B 1.4-1.52x / 1.5-1.53x.
+    let m125 = presets::opt_125m();
+    for idx in [64usize, 512] {
+        let s12 = decode_speedup(&m125, 12.0, idx);
+        assert!((1.3..=1.7).contains(&s12), "125M @12 n={idx}: {s12}");
+        let s1 = decode_speedup(&m125, 1.0, idx);
+        assert!((1.3..=1.75).contains(&s1), "125M @1 n={idx}: {s1}");
+    }
+    let m13 = presets::opt_1_3b();
+    let s = decode_speedup(&m13, 12.0, 64);
+    assert!((1.25..=1.65).contains(&s), "1.3B @12: {s}");
+}
+
+#[test]
+fn prefill_gains_grow_as_bandwidth_shrinks() {
+    // The paper's central trend: MEADOW's advantage widens under bandwidth
+    // pressure (Fig. 6).
+    let model = presets::opt_125m();
+    let high_bw = prefill_speedup(&model, 12.0, 512);
+    let low_bw = prefill_speedup(&model, 1.0, 512);
+    assert!(low_bw > high_bw, "speedup must widen: {low_bw} vs {high_bw}");
+}
+
+#[test]
+fn fig11_end_to_end_improvement_over_prior_works() {
+    // Paper §6.4: >40% end-to-end improvement vs CTA and FlightLLM. Our
+    // substrate reproduces 27-40% depending on bandwidth and workload mix
+    // (see EXPERIMENTS.md): every point clears 25%, and the 1 Gbps
+    // prefill-weighted point vs FlightLLM reaches ≈40%.
+    let model = presets::opt_125m();
+    for bw in [1.0, 12.0] {
+        let meadow = engine(Baseline::Meadow, &model, bw);
+        let m = meadow.end_to_end_latency(512, 64).unwrap().total_ms;
+        for b in [Baseline::Cta { keep_ratio: 0.5 }, Baseline::FlightLlm { n: 2, m: 4 }] {
+            let o = engine(b, &model, bw).end_to_end_latency(512, 64).unwrap().total_ms;
+            let improvement = (o - m) / o;
+            assert!(improvement > 0.25, "@{bw} Gbps vs {}: {improvement}", b.name());
+        }
+    }
+    // The strongest point: prefill-weighted request at 1 Gbps vs FlightLLM.
+    let m = engine(Baseline::Meadow, &model, 1.0).end_to_end_latency(512, 16).unwrap().total_ms;
+    let o = engine(Baseline::FlightLlm { n: 2, m: 4 }, &model, 1.0)
+        .end_to_end_latency(512, 16)
+        .unwrap()
+        .total_ms;
+    assert!((o - m) / o > 0.38, "strongest point: {}", (o - m) / o);
+}
+
+#[test]
+fn fig12a_dataflow_choice_corners() {
+    // Paper Fig. 12a: GEMM optimal across PE counts at 51 Gbps; TPHS at
+    // 1 Gbps.
+    let model = presets::opt_125m();
+    let (bws, pes) = paper_grid_axes();
+    let grid = dataflow_grid(&model, None, PackingConfig::default(), &bws, &pes, 512).unwrap();
+    for e in &grid {
+        if e.bandwidth_gbps >= 51.0 {
+            assert_eq!(e.best, AttentionDataflow::Gemm, "(51, {})", e.total_pes);
+        }
+        if e.bandwidth_gbps <= 1.0 {
+            assert_eq!(e.best, AttentionDataflow::Tphs, "(1, {})", e.total_pes);
+        }
+    }
+}
+
+#[test]
+fn fig13_vit_band() {
+    // Paper: DeiT-S/B 1.5-1.6x across bandwidths.
+    for model in [presets::deit_s(), presets::deit_b()] {
+        for bw in [3.0, 12.0] {
+            let c = vit_speedup(&model, bw).unwrap();
+            assert!((1.2..=2.0).contains(&c.speedup), "{} @ {bw}: {}", model.name, c.speedup);
+        }
+    }
+}
+
+#[test]
+fn sub_ten_watt_envelope_holds_at_every_measured_point() {
+    let model = presets::opt_125m();
+    for bw in [1.0, 12.0] {
+        let e = engine(Baseline::Meadow, &model, bw);
+        let prefill = e.prefill_latency(512).unwrap();
+        let p = e.power_report(&prefill, 512, 512);
+        assert!(p.average_watts < 10.0, "@{bw} Gbps: {} W", p.average_watts);
+        let decode = e.decode_latency(512, 64).unwrap();
+        let p = e.power_report(&decode, 1, 575);
+        assert!(p.average_watts < 10.0, "@{bw} Gbps decode: {} W", p.average_watts);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the BRAM tiling planner: whatever the operand sizes,
+//! the plan must be physical (no under-fetching) and minimal among the two
+//! legal orientations.
+
+use meadow::dataflow::tiling::{plan_gemm_tiling, ResidentOperand};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn plan_is_physical_and_minimal(
+        input in 0u64..(8 << 20),
+        weight in 0u64..(8 << 20),
+        input_bram in 1u64..(2 << 20),
+        weight_bram in 1u64..(2 << 20),
+    ) {
+        let plan = plan_gemm_tiling(input, weight, input_bram, weight_bram);
+        // Physical: every operand crosses the channel at least once.
+        prop_assert!(plan.input_fetch_bytes >= input);
+        prop_assert!(plan.weight_fetch_bytes >= weight);
+        prop_assert!(plan.passes >= 1);
+        // If anything fits, no re-fetch at all.
+        if input <= input_bram || weight <= weight_bram {
+            prop_assert_eq!(plan.input_fetch_bytes, input);
+            prop_assert_eq!(plan.weight_fetch_bytes, weight);
+            prop_assert_eq!(plan.passes, 1);
+        } else {
+            // Otherwise the chosen orientation is the cheaper of the two.
+            let input_passes = input.div_ceil(input_bram);
+            let weight_passes = weight.div_ceil(weight_bram);
+            let input_resident = input + weight * input_passes;
+            let weight_resident = weight + input * weight_passes;
+            let total = plan.input_fetch_bytes + plan.weight_fetch_bytes;
+            prop_assert_eq!(total, input_resident.min(weight_resident));
+            match plan.resident {
+                ResidentOperand::Input => prop_assert!(input_resident <= weight_resident),
+                ResidentOperand::Weight => prop_assert!(weight_resident < input_resident),
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_brams_never_increase_traffic(
+        input in 1u64..(4 << 20),
+        weight in 1u64..(4 << 20),
+        bram in 1u64..(1 << 20),
+        growth in 1u64..(1 << 20),
+    ) {
+        let small = plan_gemm_tiling(input, weight, bram, bram);
+        let big = plan_gemm_tiling(input, weight, bram + growth, bram + growth);
+        let small_total = small.input_fetch_bytes + small.weight_fetch_bytes;
+        let big_total = big.input_fetch_bytes + big.weight_fetch_bytes;
+        prop_assert!(big_total <= small_total);
+    }
+}
