@@ -15,10 +15,7 @@ fn bench_chunk_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_chunk_size");
     for chunk_elems in [1usize, 2, 4, 8] {
         let w = generate_matrix(128, 768, profile, chunk_elems, 3).unwrap();
-        let cfg = PackingConfig {
-            chunk: ChunkConfig { chunk_elems },
-            ..PackingConfig::default()
-        };
+        let cfg = PackingConfig { chunk: ChunkConfig { chunk_elems }, ..PackingConfig::default() };
         group.bench_with_input(BenchmarkId::from_parameter(chunk_elems), &cfg, |b, cfg| {
             b.iter(|| PackedWeights::pack(&w, cfg, PackingLevel::FrequencyAware).unwrap());
         });
@@ -60,7 +57,6 @@ fn bench_tphs_planning(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 fn fast() -> Criterion {
     Criterion::default()

@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meadow_core::baselines::Baseline;
+use meadow_dataflow::gemm::WeightFetch;
 use meadow_dataflow::schedule::{layer_latency, LayerParams, ScheduleKnobs};
 use meadow_dataflow::tphs::{tphs_attention_latency, TphsParams};
-use meadow_dataflow::gemm::WeightFetch;
 use meadow_dataflow::ExecutionPlan;
 use meadow_models::presets;
 use meadow_packing::{PackingConfig, WiluModule};
@@ -18,7 +18,10 @@ fn bench_layer_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("layer_latency");
     for (name, plan) in [
         ("gemm", ExecutionPlan::gemm_baseline()),
-        ("tphs", ExecutionPlan { attention: meadow_dataflow::AttentionDataflow::Tphs, packing: None }),
+        (
+            "tphs",
+            ExecutionPlan { attention: meadow_dataflow::AttentionDataflow::Tphs, packing: None },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
             b.iter(|| {
@@ -70,7 +73,6 @@ fn bench_engine_measurements(c: &mut Criterion) {
         b.iter(|| engine.decode_latency(512, 64).unwrap());
     });
 }
-
 
 fn fast() -> Criterion {
     Criterion::default()

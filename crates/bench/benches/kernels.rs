@@ -76,7 +76,6 @@ fn bench_functional_attention(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn fast() -> Criterion {
     Criterion::default()
         .sample_size(10)

@@ -19,9 +19,13 @@ fn bench_pack(c: &mut Criterion) {
     let mut group = c.benchmark_group("pack");
     group.throughput(Throughput::Bytes(bytes));
     for level in PackingLevel::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{level:?}")), &level, |b, &level| {
-            b.iter(|| PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{level:?}")),
+            &level,
+            |b, &level| {
+                b.iter(|| PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -34,9 +38,13 @@ fn bench_unpack(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes));
     for level in PackingLevel::all() {
         let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{level:?}")), &packed, |b, packed| {
-            b.iter(|| wilu.execute(packed).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{level:?}")),
+            &packed,
+            |b, packed| {
+                b.iter(|| wilu.execute(packed).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -51,7 +59,6 @@ fn bench_decompose_and_reindex(c: &mut Criterion) {
         b.iter(|| frequency_reindex(&unique, &encoded).unwrap());
     });
 }
-
 
 fn fast() -> Criterion {
     Criterion::default()

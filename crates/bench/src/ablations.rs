@@ -37,8 +37,7 @@ pub fn ablation_chunk(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
     ]);
     let mut best = (0usize, 0.0f64);
     for chunk_elems in [1usize, 2, 4, 8] {
-        let cfg =
-            PackingConfig { chunk: ChunkConfig { chunk_elems }, ..PackingConfig::default() };
+        let cfg = PackingConfig { chunk: ChunkConfig { chunk_elems }, ..PackingConfig::default() };
         let packed = PackedWeights::pack(&w, &cfg, PackingLevel::FrequencyAware)?;
         let ratio = packed.compression_ratio();
         if ratio > best.1 {
@@ -70,8 +69,12 @@ pub fn ablation_chunk(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
 pub fn ablation_payload(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
     let (unique, encoded) =
         generate_decomposition(256, 768, anchor_profile(), 2, 405).map_err(CoreError::from)?;
-    let mut table =
-        Table::new(["payload_bits", "compression_packet_specific", "compression_freq_aware", "packets_freq"]);
+    let mut table = Table::new([
+        "payload_bits",
+        "compression_packet_specific",
+        "compression_freq_aware",
+        "packets_freq",
+    ]);
     for payload_bits in [32u32, 64, 128, 256, 512] {
         let cfg = PackingConfig { payload_bits, ..PackingConfig::default() };
         let pkt = PackedWeights::from_decomposition(
@@ -108,12 +111,8 @@ pub fn ablation_payload(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
 ///
 /// Propagates executor errors.
 pub fn ablation_parallelism(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
-    let mut table = Table::new([
-        "broadcasting_pes",
-        "token_parallelism",
-        "waves",
-        "tphs_attention_ms@12Gbps",
-    ]);
+    let mut table =
+        Table::new(["broadcasting_pes", "token_parallelism", "waves", "tphs_attention_ms@12Gbps"]);
     let clock = ClockDomain::zcu102();
     let params = TphsParams {
         d_model: 768,
@@ -169,17 +168,17 @@ pub fn ablation_overlap(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
         context: 512,
         wq: WeightFetch::raw(768 * 768),
     };
-    let mut table = Table::new([
-        "bandwidth_gbps",
-        "overlapped_ms",
-        "sequential_ms",
-        "overlap_gain",
-    ]);
+    let mut table =
+        Table::new(["bandwidth_gbps", "overlapped_ms", "sequential_ms", "overlap_gain"]);
     let mut notes = Vec::new();
     for bw in [1.0, 6.0, 12.0, 51.0] {
         let mut dram = DramModel::with_bandwidth(bw, clock)?;
-        let lat =
-            tphs_attention_latency(&ChipConfig::zcu102(), &mut dram, &WiluModule::zcu102(), &params)?;
+        let lat = tphs_attention_latency(
+            &ChipConfig::zcu102(),
+            &mut dram,
+            &WiluModule::zcu102(),
+            &params,
+        )?;
         let overlapped = clock.to_ms(lat.makespan);
         let sequential = clock.to_ms(lat.component_sum());
         table.row([
@@ -211,31 +210,19 @@ pub fn ablation_overlap(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
 ///
 /// Propagates generation and packing errors.
 pub fn ablation_zipf(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
-    let mut table = Table::new([
-        "zipf_exponent",
-        "naive",
-        "packet_specific",
-        "freq_aware",
-        "reindex_gain",
-    ]);
+    let mut table =
+        Table::new(["zipf_exponent", "naive", "packet_specific", "freq_aware", "reindex_gain"]);
     let mut notes = Vec::new();
     for zipf in [1.001f64, 1.1, 1.2, 1.35, 1.5] {
-        let profile = RedundancyProfile {
-            unique_chunks: 1272,
-            zipf_exponent: zipf,
-            mean_run_len: 16.0,
-        };
+        let profile =
+            RedundancyProfile { unique_chunks: 1272, zipf_exponent: zipf, mean_run_len: 16.0 };
         let (unique, encoded) =
             generate_decomposition(256, 768, profile, 2, 406).map_err(CoreError::from)?;
         let cfg = PackingConfig::default();
         let mut ratios = Vec::new();
         for level in PackingLevel::all() {
-            let packed = PackedWeights::from_decomposition(
-                unique.clone(),
-                encoded.clone(),
-                &cfg,
-                level,
-            )?;
+            let packed =
+                PackedWeights::from_decomposition(unique.clone(), encoded.clone(), &cfg, level)?;
             ratios.push(packed.compression_ratio());
         }
         let gain = ratios[2] / ratios[1];

@@ -42,6 +42,18 @@ const GENERATORS: &[(&str, Generator)] = &[
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("Usage: repro [--list] [ARTIFACT...]");
+        println!();
+        println!("Regenerates tables and figures from the MEADOW paper's evaluation.");
+        println!("With no arguments (or `all`), regenerates every artifact. Tables are");
+        println!("printed to stdout and written as CSV under target/repro/.");
+        println!();
+        println!("Options:");
+        println!("  --list        print the available artifact names and exit");
+        println!("  -h, --help    print this help and exit");
+        return ExitCode::SUCCESS;
+    }
     if args.iter().any(|a| a == "--list") {
         for (name, _) in GENERATORS {
             println!("{name}");
@@ -67,21 +79,19 @@ fn main() -> ExitCode {
     let ctx = ReproContext::new();
     // Artifacts are independent; regenerate them in parallel and print in
     // the selection order.
-    let results: Vec<(&str, Result<Artifact, CoreError>)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = selected
-                .iter()
-                .map(|(name, generator)| {
-                    let ctx = &ctx;
-                    (*name, scope.spawn(move |_| generator(ctx)))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|(name, h)| (name, h.join().expect("generator must not panic")))
-                .collect()
-        })
-        .expect("scope must not panic");
+    let results: Vec<(&str, Result<Artifact, CoreError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = selected
+            .iter()
+            .map(|(name, generator)| {
+                let ctx = &ctx;
+                (*name, scope.spawn(move || generator(ctx)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, h)| (name, h.join().expect("generator must not panic")))
+            .collect()
+    });
     let mut failures = 0;
     for (name, result) in results {
         println!("==================================================================");

@@ -55,8 +55,7 @@ impl ReproContext {
         bandwidth_gbps: f64,
     ) -> Result<MeadowEngine, CoreError> {
         let config = baseline.engine_config(model.clone(), bandwidth_gbps);
-        let stats =
-            if config.plan.packing.is_some() { Some(self.stats_for(model)?) } else { None };
+        let stats = if config.plan.packing.is_some() { Some(self.stats_for(model)?) } else { None };
         MeadowEngine::with_packing_stats(config, stats)
     }
 }

@@ -20,7 +20,10 @@ use meadow_sim::ChipConfig;
 pub fn table1(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
     let c = ChipConfig::zcu102();
     let mut table = Table::new(["parameter", "value"]);
-    table.row(["#Parallel & #Broadcasting PEs", &format!("{}, {}", c.parallel_pes, c.broadcasting_pes)]);
+    table.row([
+        "#Parallel & #Broadcasting PEs",
+        &format!("{}, {}", c.parallel_pes, c.broadcasting_pes),
+    ]);
     table.row(["#Multipliers per PE", &c.pe_geometry.multipliers.to_string()]);
     table.row([
         "#SM, #LN & #ReLU Modules",
@@ -55,8 +58,7 @@ pub fn fig12a(ctx: &ReproContext) -> Result<Artifact, CoreError> {
     let model = presets::opt_125m();
     let stats = ctx.stats_for(&model)?;
     let (bws, pes) = paper_grid_axes();
-    let grid =
-        dataflow_grid(&model, Some(&stats), PackingConfig::default(), &bws, &pes, 512)?;
+    let grid = dataflow_grid(&model, Some(&stats), PackingConfig::default(), &bws, &pes, 512)?;
     let mut table =
         Table::new(["bandwidth_gbps", "total_pes", "gemm_ms", "tphs_ms", "chosen", "best_ms"]);
     let mut notes = Vec::new();
@@ -81,7 +83,8 @@ pub fn fig12a(ctx: &ReproContext) -> Result<Artifact, CoreError> {
     notes.push(format!("GEMM chosen at: {}", gemm_points.join(", ")));
     Ok(Artifact {
         id: "fig12a",
-        paper_claim: "GEMM is optimal at high bandwidth (51 Gbps); TPHS at low-bandwidth configurations",
+        paper_claim:
+            "GEMM is optimal at high bandwidth (51 Gbps); TPHS at low-bandwidth configurations",
         table,
         notes,
     })
@@ -141,8 +144,7 @@ pub fn fig12b(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
 ///
 /// Propagates engine errors.
 pub fn fig13(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
-    let mut table =
-        Table::new(["model", "bandwidth_gbps", "gemm_ms", "meadow_ms", "speedup"]);
+    let mut table = Table::new(["model", "bandwidth_gbps", "gemm_ms", "meadow_ms", "speedup"]);
     let mut notes = Vec::new();
     for model in [presets::deit_s(), presets::deit_b()] {
         let mut extremes: Vec<f64> = Vec::new();

@@ -68,12 +68,17 @@ pub fn fig1c(ctx: &ReproContext) -> Result<Artifact, CoreError> {
     let fetch_frac = f.get() as f64 / (f + c + s).get().max(1) as f64;
     Ok(Artifact {
         id: "fig1c",
-        paper_claim: "during decode, compute and store are negligible; weight and input fetch dominates",
+        paper_claim:
+            "during decode, compute and store are negligible; weight and input fetch dominates",
         table,
         notes: vec![
             format!("fetch fraction of decode: {:.1}%", fetch_frac * 100.0),
-            format!("decode totals: fetch {:.1} ms, compute {:.2} ms, store {:.2} ms",
-                clock.to_ms(f), clock.to_ms(c), clock.to_ms(s)),
+            format!(
+                "decode totals: fetch {:.1} ms, compute {:.2} ms, store {:.2} ms",
+                clock.to_ms(f),
+                clock.to_ms(c),
+                clock.to_ms(s)
+            ),
         ],
     })
 }
@@ -85,8 +90,14 @@ pub fn fig1c(ctx: &ReproContext) -> Result<Artifact, CoreError> {
 ///
 /// Propagates engine errors.
 pub fn fig6(ctx: &ReproContext) -> Result<Artifact, CoreError> {
-    let mut table =
-        Table::new(["model", "bandwidth_gbps", "prefill_tokens", "gemm_ttft_ms", "meadow_ttft_ms", "speedup"]);
+    let mut table = Table::new([
+        "model",
+        "bandwidth_gbps",
+        "prefill_tokens",
+        "gemm_ttft_ms",
+        "meadow_ttft_ms",
+        "speedup",
+    ]);
     let mut notes = Vec::new();
     for model in [presets::opt_125m(), presets::opt_1_3b()] {
         let mut extremes: Vec<f64> = Vec::new();
@@ -126,7 +137,14 @@ pub fn fig6(ctx: &ReproContext) -> Result<Artifact, CoreError> {
 ///
 /// Propagates engine errors.
 pub fn fig7(ctx: &ReproContext) -> Result<Artifact, CoreError> {
-    let mut table = Table::new(["model", "bandwidth_gbps", "token_index", "gemm_tbt_ms", "meadow_tbt_ms", "speedup"]);
+    let mut table = Table::new([
+        "model",
+        "bandwidth_gbps",
+        "token_index",
+        "gemm_tbt_ms",
+        "meadow_tbt_ms",
+        "speedup",
+    ]);
     let mut notes = Vec::new();
     for model in [presets::opt_125m(), presets::opt_1_3b()] {
         let mut extremes: Vec<f64> = Vec::new();
@@ -153,7 +171,8 @@ pub fn fig7(ctx: &ReproContext) -> Result<Artifact, CoreError> {
     }
     Ok(Artifact {
         id: "fig7",
-        paper_claim: "TBT: 1.4-1.46x (125M) / 1.4-1.52x (1.3B) at 12 Gbps; 1.4-1.47x / 1.5-1.53x at 1 Gbps",
+        paper_claim:
+            "TBT: 1.4-1.46x (125M) / 1.4-1.52x (1.3B) at 12 Gbps; 1.4-1.47x / 1.5-1.53x at 1 Gbps",
         table,
         notes,
     })
@@ -165,7 +184,15 @@ fn breakdown_artifact(
     paper_claim: &'static str,
     decode: bool,
 ) -> Result<Artifact, CoreError> {
-    let mut table = Table::new(["bandwidth_gbps", "mode", "op", "fetch_ms", "compute_ms", "store_ms", "total_ms"]);
+    let mut table = Table::new([
+        "bandwidth_gbps",
+        "mode",
+        "op",
+        "fetch_ms",
+        "compute_ms",
+        "store_ms",
+        "total_ms",
+    ]);
     let mut notes = Vec::new();
     for bw in [12.0, 1.0] {
         for baseline in [Baseline::Gemm, Baseline::Meadow] {
@@ -269,7 +296,8 @@ pub fn fig11(ctx: &ReproContext) -> Result<Artifact, CoreError> {
     }
     Ok(Artifact {
         id: "fig11",
-        paper_claim: "MEADOW achieves >40% end-to-end latency improvement over CTA and FlightLLM on OPT-125M",
+        paper_claim:
+            "MEADOW achieves >40% end-to-end latency improvement over CTA and FlightLLM on OPT-125M",
         table,
         notes,
     })

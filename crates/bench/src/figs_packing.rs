@@ -78,8 +78,14 @@ pub fn fig10a(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
             .map_err(CoreError::from)?;
     let raw_bytes = (rows * cols) as u64;
     let clock = ClockDomain::zcu102();
-    let mut table =
-        Table::new(["scheme", "unique_chunks", "id_bits", "transfer_bytes", "cycles@12Gbps", "speedup_vs_raw"]);
+    let mut table = Table::new([
+        "scheme",
+        "unique_chunks",
+        "id_bits",
+        "transfer_bytes",
+        "cycles@12Gbps",
+        "speedup_vs_raw",
+    ]);
     let mut dram = DramModel::with_bandwidth(12.0, clock)?;
     let raw_cycles = dram.transfer(TrafficClass::WeightFetch, raw_bytes);
     table.row([
@@ -92,12 +98,8 @@ pub fn fig10a(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
     ]);
     let mut notes = Vec::new();
     for level in PackingLevel::all() {
-        let packed = PackedWeights::from_decomposition(
-            unique.clone(),
-            encoded.clone(),
-            &packing,
-            level,
-        )?;
+        let packed =
+            PackedWeights::from_decomposition(unique.clone(), encoded.clone(), &packing, level)?;
         let mut dram = DramModel::with_bandwidth(12.0, clock)?;
         let cycles = dram.transfer(TrafficClass::WeightFetch, packed.transfer_bytes());
         let speedup = raw_cycles.get() as f64 / cycles.get().max(1) as f64;

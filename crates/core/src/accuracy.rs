@@ -77,12 +77,9 @@ mod tests {
 
     #[test]
     fn tiny_model_is_lossless_at_all_levels() {
-        let report = verify_model_lossless(
-            &presets::tiny_decoder(),
-            &PackingConfig::default(),
-            usize::MAX,
-        )
-        .unwrap();
+        let report =
+            verify_model_lossless(&presets::tiny_decoder(), &PackingConfig::default(), usize::MAX)
+                .unwrap();
         assert!(report.all_exact, "failures: {:?}", report.failures);
         // 2 layers × 6 matrices × 3 levels.
         assert_eq!(report.matrices_checked, 36);
@@ -92,8 +89,7 @@ mod tests {
     fn row_capped_opt125m_layer_is_lossless() {
         let mut cfg = presets::opt_125m();
         cfg.layers = 1; // keep the test fast; the repro binary checks all 12
-        let report =
-            verify_model_lossless(&cfg, &PackingConfig::default(), 96).unwrap();
+        let report = verify_model_lossless(&cfg, &PackingConfig::default(), 96).unwrap();
         assert!(report.all_exact, "failures: {:?}", report.failures);
         assert_eq!(report.matrices_checked, 18);
     }

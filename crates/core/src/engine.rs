@@ -272,8 +272,7 @@ impl MeadowEngine {
         let ttft = self.prefill_latency(prompt_tokens)?;
         let first = self.decode_latency(prompt_tokens, 1)?;
         let last = self.decode_latency(prompt_tokens, generated_tokens)?;
-        let decode_ms =
-            (first.total_ms() + last.total_ms()) / 2.0 * generated_tokens as f64;
+        let decode_ms = (first.total_ms() + last.total_ms()) / 2.0 * generated_tokens as f64;
         Ok(EndToEndReport {
             ttft_ms: ttft.total_ms(),
             decode_ms,
@@ -314,14 +313,13 @@ mod tests {
     fn invalid_bandwidth_rejected() {
         assert!(MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 0.0)).is_err());
         assert!(MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), -2.0)).is_err());
-        assert!(
-            MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), f64::NAN)).is_err()
-        );
+        assert!(MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), f64::NAN)).is_err());
     }
 
     #[test]
     fn tiny_model_end_to_end() {
-        let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
+        let engine =
+            MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
         let prefill = engine.prefill_latency(16).unwrap();
         assert!(prefill.total_ms() > 0.0);
         assert_eq!(prefill.layers.len(), 2);
@@ -385,7 +383,8 @@ mod tests {
 
     #[test]
     fn e2e_validation() {
-        let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
+        let engine =
+            MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
         assert!(engine.end_to_end_latency(16, 0).is_err());
     }
 }

@@ -162,10 +162,7 @@ pub fn auto_engine(
         chip,
         model: model.clone(),
         bandwidth_gbps,
-        plan: ExecutionPlan {
-            attention: entry.best,
-            packing: Some(PackingLevel::FrequencyAware),
-        },
+        plan: ExecutionPlan { attention: entry.best, packing: Some(PackingLevel::FrequencyAware) },
         packing_config,
         knobs: meadow_dataflow::schedule::ScheduleKnobs::default(),
     };
@@ -257,9 +254,10 @@ mod tests {
         for bw in [1.0, 25.0] {
             let auto = auto_engine(&cfg, ChipConfig::zcu102(), bw, 512).unwrap();
             let auto_ms = auto.prefill_latency(512).unwrap().total_ms();
-            let fixed = crate::engine::MeadowEngine::new(
-                crate::engine::EngineConfig::zcu102(cfg.clone(), bw),
-            )
+            let fixed = crate::engine::MeadowEngine::new(crate::engine::EngineConfig::zcu102(
+                cfg.clone(),
+                bw,
+            ))
             .unwrap();
             let fixed_ms = fixed.prefill_latency(512).unwrap().total_ms();
             // Auto picks TPHS at these points, so it matches the MEADOW

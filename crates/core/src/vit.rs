@@ -31,7 +31,10 @@ pub struct VitComparison {
 ///
 /// Returns [`CoreError::InvalidConfig`] for non-ViT configs and propagates
 /// engine errors.
-pub fn vit_speedup(model: &TransformerConfig, bandwidth_gbps: f64) -> Result<VitComparison, CoreError> {
+pub fn vit_speedup(
+    model: &TransformerConfig,
+    bandwidth_gbps: f64,
+) -> Result<VitComparison, CoreError> {
     let gemm = MeadowEngine::new(EngineConfig::gemm_baseline(model.clone(), bandwidth_gbps))?;
     let meadow = MeadowEngine::new(EngineConfig::zcu102(model.clone(), bandwidth_gbps))?;
     let g = gemm.vit_inference_latency()?.total_ms();

@@ -27,7 +27,12 @@ pub struct OpLatency {
 
 impl OpLatency {
     /// A fully sequential op: makespan is the sum of its components.
-    pub fn sequential(name: impl Into<String>, fetch: Cycles, compute: Cycles, store: Cycles) -> Self {
+    pub fn sequential(
+        name: impl Into<String>,
+        fetch: Cycles,
+        compute: Cycles,
+        store: Cycles,
+    ) -> Self {
         Self { name: name.into(), fetch, compute, store, makespan: fetch + compute + store }
     }
 

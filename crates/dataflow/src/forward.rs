@@ -93,10 +93,7 @@ fn residual_add(a: &Matrix<i8>, b: &Matrix<i8>) -> Result<Matrix<i8>, DataflowEr
     Ok(Matrix::from_vec(a.rows(), a.cols(), data)?)
 }
 
-fn layernorm_i8(
-    x: &Matrix<i8>,
-    scales: &ForwardScales,
-) -> Result<Matrix<i8>, DataflowError> {
+fn layernorm_i8(x: &Matrix<i8>, scales: &ForwardScales) -> Result<Matrix<i8>, DataflowError> {
     let real = x.dequantize(scales.activation);
     let normed = layernorm_rows(&real, &LayerNormParams::identity(x.cols()))?;
     let data = normed
@@ -209,15 +206,9 @@ mod tests {
         let lut = ExpLut::hardware_default();
         let x = random_tokens(6, config.d_model, 17);
         let scales = ForwardScales::default();
-        let gemm = decoder_layer_forward(
-            &x,
-            weights.layer(0),
-            &config,
-            ForwardMode::Gemm,
-            &scales,
-            &lut,
-        )
-        .unwrap();
+        let gemm =
+            decoder_layer_forward(&x, weights.layer(0), &config, ForwardMode::Gemm, &scales, &lut)
+                .unwrap();
         for parallelism in [1usize, 3, 8] {
             let tphs = decoder_layer_forward(
                 &x,
@@ -240,14 +231,9 @@ mod tests {
         let x = random_tokens(4, config.d_model, 29);
         let scales = ForwardScales::default();
         let gemm = model_forward(&x, &weights, ForwardMode::Gemm, &scales, &lut).unwrap();
-        let tphs = model_forward(
-            &x,
-            &weights,
-            ForwardMode::Tphs { token_parallelism: 4 },
-            &scales,
-            &lut,
-        )
-        .unwrap();
+        let tphs =
+            model_forward(&x, &weights, ForwardMode::Tphs { token_parallelism: 4 }, &scales, &lut)
+                .unwrap();
         assert_eq!(mismatch_fraction(&gemm, &tphs), 0.0);
         assert!(gemm.as_slice().iter().any(|&v| v != 0));
     }
@@ -258,9 +244,8 @@ mod tests {
         let weights = ModelWeights::synthesize(&config).unwrap();
         let lut = ExpLut::hardware_default();
         let x = random_tokens(4, config.d_model, 31);
-        let y =
-            model_forward(&x, &weights, ForwardMode::Gemm, &ForwardScales::default(), &lut)
-                .unwrap();
+        let y = model_forward(&x, &weights, ForwardMode::Gemm, &ForwardScales::default(), &lut)
+            .unwrap();
         assert_ne!(x, y);
         assert_eq!(x.shape(), y.shape());
     }

@@ -73,7 +73,7 @@ impl AttentionProblem {
     /// Returns [`DataflowError::Schedule`] for inconsistent shapes.
     pub fn validate(&self) -> Result<(), DataflowError> {
         let d = self.x.cols();
-        if self.heads == 0 || d % self.heads != 0 {
+        if self.heads == 0 || !d.is_multiple_of(self.heads) {
             return Err(DataflowError::Schedule {
                 reason: format!("heads {} must divide d_model {d}", self.heads),
             });
@@ -114,7 +114,10 @@ impl AttentionProblem {
 /// # Errors
 ///
 /// Propagates shape and scale errors.
-pub fn attention_reference(p: &AttentionProblem, lut: &ExpLut) -> Result<Matrix<i8>, DataflowError> {
+pub fn attention_reference(
+    p: &AttentionProblem,
+    lut: &ExpLut,
+) -> Result<Matrix<i8>, DataflowError> {
     p.validate()?;
     let t = p.x.rows();
     let c = p.k_cache.rows();

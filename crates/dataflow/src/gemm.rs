@@ -97,7 +97,11 @@ pub struct GemmOpSpec {
 
 /// Effective cycles to bring a weight matrix on chip: DRAM transfer,
 /// overlapped with WILU unpacking when packed (the slower side wins).
-pub fn weight_fetch_cycles(dram: &mut DramModel, weight: &WeightFetch, wilu: &WiluModule) -> Cycles {
+pub fn weight_fetch_cycles(
+    dram: &mut DramModel,
+    weight: &WeightFetch,
+    wilu: &WiluModule,
+) -> Cycles {
     let bytes = weight.transfer_bytes();
     let dram_cycles = dram.transfer(TrafficClass::WeightFetch, bytes);
     match weight.packed {
@@ -114,9 +118,7 @@ pub fn weight_fetch_cycles(dram: &mut DramModel, weight: &WeightFetch, wilu: &Wi
 /// Compute cycles of a [`ComputeSpec`] on the given chip.
 pub fn compute_cycles(chip: &ChipConfig, compute: ComputeSpec) -> Cycles {
     match compute {
-        ComputeSpec::Macs(macs) => {
-            Cycles::for_throughput(macs, chip.peak_macs_per_cycle().max(1))
-        }
+        ComputeSpec::Macs(macs) => Cycles::for_throughput(macs, chip.peak_macs_per_cycle().max(1)),
         ComputeSpec::Softmax { rows, features } => {
             let per_unit = rows.div_ceil(chip.sm_modules.max(1));
             SoftmaxUnit::default().pipelined_cycles(per_unit, features)
@@ -153,8 +155,8 @@ pub fn gemm_op_latency(
         chip.input_bram_bytes as u64,
         chip.weight_bram_bytes as u64,
     );
-    let weight_mult = if weight_bytes == 0 { 1 } else { outcome.weight_fetch_bytes / weight_bytes };
-    let input_mult = if input_total == 0 { 1 } else { outcome.input_fetch_bytes / input_total };
+    let weight_mult = outcome.weight_fetch_bytes.checked_div(weight_bytes).unwrap_or(1);
+    let input_mult = outcome.input_fetch_bytes.checked_div(input_total).unwrap_or(1);
     if let Some(w) = &spec.weight {
         for _ in 0..weight_mult.max(1) {
             fetch += weight_fetch_cycles(dram, w, wilu);

@@ -117,10 +117,7 @@ mod tests {
     #[test]
     fn blocking_delays_upstream() {
         // Item 0 is slow at stage 1; item 1 must wait at stage 0's buffer.
-        let matrix = vec![
-            vec![Cycles(1), Cycles(50)],
-            vec![Cycles(1), Cycles(1)],
-        ];
+        let matrix = vec![vec![Cycles(1), Cycles(50)], vec![Cycles(1), Cycles(1)]];
         let makespan = flow_shop_schedule(&matrix);
         // Item 0 finishes at 1+50 = 51; item 1 can only start stage 1 at 51,
         // finishing at 52.

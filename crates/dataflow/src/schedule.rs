@@ -43,10 +43,7 @@ impl ExecutionPlan {
 
     /// Full MEADOW: TPHS attention + frequency-aware weight packing.
     pub fn meadow() -> Self {
-        Self {
-            attention: AttentionDataflow::Tphs,
-            packing: Some(PackingLevel::FrequencyAware),
-        }
+        Self { attention: AttentionDataflow::Tphs, packing: Some(PackingLevel::FrequencyAware) }
     }
 }
 
@@ -165,10 +162,7 @@ fn gemm_attention_ops(plan: &ExecutionPlan, params: &LayerParams<'_>) -> Vec<Gem
             weight: None,
             inputs: vec![(TrafficClass::IntermediateFetch, inter(scores))],
             stores: vec![(TrafficClass::IntermediateStore, inter(scores))],
-            compute: ComputeSpec::Softmax {
-                rows: (h * t) as usize,
-                features: ctx as usize,
-            },
+            compute: ComputeSpec::Softmax { rows: (h * t) as usize, features: ctx as usize },
         },
         GemmOpSpec {
             name: "SMxV".into(),
@@ -321,6 +315,7 @@ pub fn layer_latency(
 /// # Errors
 ///
 /// Propagates executor errors.
+#[allow(clippy::too_many_arguments)]
 pub fn model_latency(
     chip: &ChipConfig,
     dram: &mut DramModel,
@@ -401,13 +396,9 @@ mod tests {
         let chip = ChipConfig::zcu102();
         let mut d1 = dram(1.0);
         let mut d2 = dram(1.0);
-        let gemm = layer_latency(
-            &chip,
-            &mut d1,
-            &ExecutionPlan::gemm_baseline(),
-            &params(&cfg, 512, 512),
-        )
-        .unwrap();
+        let gemm =
+            layer_latency(&chip, &mut d1, &ExecutionPlan::gemm_baseline(), &params(&cfg, 512, 512))
+                .unwrap();
         let plan = ExecutionPlan { attention: AttentionDataflow::Tphs, packing: None };
         let tphs = layer_latency(&chip, &mut d2, &plan, &params(&cfg, 512, 512)).unwrap();
         assert!(

@@ -50,8 +50,7 @@ pub fn plan_gemm_tiling(
     if input_fits || weight_fits {
         // At least one operand can be resident in full: a single pass with
         // the other operand streamed once.
-        let resident =
-            if input_fits { ResidentOperand::Input } else { ResidentOperand::Weight };
+        let resident = if input_fits { ResidentOperand::Input } else { ResidentOperand::Weight };
         return TilingOutcome {
             input_fetch_bytes: input_bytes,
             weight_fetch_bytes: weight_bytes,

@@ -301,8 +301,7 @@ mod tests {
         let p = opt125m_params(256);
         let mut d1 = dram(12.0);
         let mut d2 = dram(12.0);
-        let slow =
-            tphs_attention_latency(&small, &mut d1, &WiluModule::zcu102(), &p).unwrap();
+        let slow = tphs_attention_latency(&small, &mut d1, &WiluModule::zcu102(), &p).unwrap();
         let fast = tphs_attention_latency(&big, &mut d2, &WiluModule::zcu102(), &p).unwrap();
         assert!(slow.makespan > fast.makespan);
     }

@@ -144,7 +144,7 @@ impl TransformerConfig {
         if self.heads == 0 {
             return Err(ModelError::InvalidConfig { param: "heads", reason: "zero".into() });
         }
-        if self.d_model % self.heads != 0 {
+        if !self.d_model.is_multiple_of(self.heads) {
             return Err(ModelError::InvalidConfig {
                 param: "heads",
                 reason: format!("{} does not divide d_model {}", self.heads, self.d_model),

@@ -213,7 +213,7 @@ pub fn generate_decomposition(
     if chunk_elems == 0 {
         return Err(ModelError::InvalidConfig { param: "chunk_elems", reason: "zero".into() });
     }
-    if cols % chunk_elems != 0 {
+    if !cols.is_multiple_of(chunk_elems) {
         return Err(ModelError::InvalidConfig {
             param: "cols",
             reason: format!("{cols} not divisible by chunk size {chunk_elems}"),
@@ -244,7 +244,7 @@ pub fn generate_decomposition(
         let rank = zipf.sample(&mut rng);
         let id = rank_to_id[rank];
         let run = sample_run_len(&mut rng, profile.mean_run_len).min(total - ids.len());
-        ids.extend(std::iter::repeat(id).take(run));
+        ids.extend(std::iter::repeat_n(id, run));
     }
     let unique = UniqueMatrix::from_chunks(pool, chunk_elems)?;
     let encoded = EncodedMatrix::from_ids(ids, rows, chunk_cols, chunk_elems)?;
@@ -308,7 +308,8 @@ mod tests {
 
     #[test]
     fn generated_decomposition_matches_profile() {
-        let profile = RedundancyProfile { unique_chunks: 50, zipf_exponent: 1.2, mean_run_len: 8.0 };
+        let profile =
+            RedundancyProfile { unique_chunks: 50, zipf_exponent: 1.2, mean_run_len: 8.0 };
         let (unique, encoded) = generate_decomposition(64, 64, profile, 2, 42).unwrap();
         assert_eq!(unique.len(), 50);
         assert_eq!(encoded.len(), 64 * 32);
@@ -326,7 +327,8 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let profile = RedundancyProfile { unique_chunks: 20, zipf_exponent: 1.1, mean_run_len: 4.0 };
+        let profile =
+            RedundancyProfile { unique_chunks: 20, zipf_exponent: 1.1, mean_run_len: 4.0 };
         let a = generate_matrix(16, 32, profile, 2, 7).unwrap();
         let b = generate_matrix(16, 32, profile, 2, 7).unwrap();
         assert_eq!(a, b);
@@ -336,7 +338,8 @@ mod tests {
 
     #[test]
     fn materialized_matrix_decomposes_to_the_same_unique_count() {
-        let profile = RedundancyProfile { unique_chunks: 30, zipf_exponent: 1.3, mean_run_len: 6.0 };
+        let profile =
+            RedundancyProfile { unique_chunks: 30, zipf_exponent: 1.3, mean_run_len: 6.0 };
         let w = generate_matrix(32, 32, profile, 2, 99).unwrap();
         let (unique, _) =
             meadow_packing::chunk::decompose(&w, meadow_packing::ChunkConfig { chunk_elems: 2 })

@@ -51,7 +51,11 @@ impl LayerWeights {
     /// # Errors
     ///
     /// Propagates slicing errors for out-of-range heads.
-    pub fn query_head(&self, config: &TransformerConfig, head: usize) -> Result<Matrix<i8>, ModelError> {
+    pub fn query_head(
+        &self,
+        config: &TransformerConfig,
+        head: usize,
+    ) -> Result<Matrix<i8>, ModelError> {
         let hd = config.head_dim();
         Ok(self.matrix(MatrixKind::Query).row_block(head * hd, hd)?)
     }

@@ -204,10 +204,7 @@ mod tests {
     fn oversized_operations_rejected() {
         let mut w = BitWriter::new();
         assert!(matches!(w.write(0, 65), Err(PackingError::BitWidthTooLarge { .. })));
-        assert!(matches!(
-            w.write(0b100, 2),
-            Err(PackingError::InvalidStream { .. })
-        ));
+        assert!(matches!(w.write(0b100, 2), Err(PackingError::InvalidStream { .. })));
         let s = BitWriter::new().into_stream();
         assert!(matches!(s.reader().read(65), Err(PackingError::BitWidthTooLarge { .. })));
     }

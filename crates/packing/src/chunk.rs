@@ -153,10 +153,7 @@ impl EncodedMatrix {
     ) -> Result<Self, PackingError> {
         if ids.len() != rows * chunk_cols {
             return Err(PackingError::InvalidStream {
-                reason: format!(
-                    "{} ids do not fill a {rows}x{chunk_cols} chunk grid",
-                    ids.len()
-                ),
+                reason: format!("{} ids do not fill a {rows}x{chunk_cols} chunk grid", ids.len()),
             });
         }
         Ok(Self { ids, rows, chunk_cols, chunk_elems })
@@ -234,7 +231,7 @@ pub fn decompose(
     if config.chunk_elems == 0 {
         return Err(PackingError::ZeroChunkSize);
     }
-    if w.cols() % config.chunk_elems != 0 {
+    if !w.cols().is_multiple_of(config.chunk_elems) {
         return Err(PackingError::NotChunkable { cols: w.cols(), chunk_elems: config.chunk_elems });
     }
     let chunk_cols = w.cols() / config.chunk_elems;

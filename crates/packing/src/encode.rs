@@ -17,8 +17,8 @@
 //! Frequency-aware re-indexing reuses the packet-specific encoder on a
 //! re-indexed ID stream (see [`crate::reindex`]).
 
-use crate::bitstream::{BitStream, BitWriter};
 use crate::bits_for_ids;
+use crate::bitstream::{BitStream, BitWriter};
 use crate::chunk::{decompose, reconstruct, ChunkConfig, EncodedMatrix, UniqueMatrix};
 use crate::error::PackingError;
 use crate::reindex::frequency_reindex;
@@ -155,8 +155,7 @@ impl PackedWeights {
         }
         let (stream, mode_bits, packets) = match level {
             PackingLevel::Naive => {
-                let (s, packets) =
-                    encode_naive(encoded.ids(), max_id_bits, config.payload_bits)?;
+                let (s, packets) = encode_naive(encoded.ids(), max_id_bits, config.payload_bits)?;
                 (s, 0, packets)
             }
             PackingLevel::PacketSpecific | PackingLevel::FrequencyAware => {
@@ -221,8 +220,12 @@ impl PackedWeights {
     /// an ID is out of table range.
     pub fn unpack(&self) -> Result<Matrix<i8>, PackingError> {
         let ids = self.decode_ids()?;
-        let encoded =
-            EncodedMatrix::from_parts(ids, self.meta.rows, self.meta.chunk_cols, self.meta.chunk_elems);
+        let encoded = EncodedMatrix::from_parts(
+            ids,
+            self.meta.rows,
+            self.meta.chunk_cols,
+            self.meta.chunk_elems,
+        );
         reconstruct(&self.unique, &encoded)
     }
 

@@ -47,10 +47,9 @@ pub enum PackingError {
 impl fmt::Display for PackingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PackingError::NotChunkable { cols, chunk_elems } => write!(
-                f,
-                "inner dimension {cols} is not divisible by chunk size {chunk_elems}"
-            ),
+            PackingError::NotChunkable { cols, chunk_elems } => {
+                write!(f, "inner dimension {cols} is not divisible by chunk size {chunk_elems}")
+            }
             PackingError::ZeroChunkSize => write!(f, "chunk size must be non-zero"),
             PackingError::PayloadTooNarrow { payload_bits, required_bits } => write!(
                 f,

@@ -20,7 +20,7 @@ impl IdHistogram {
     /// bins over `[0, unique_count)`.
     pub fn new(encoded: &EncodedMatrix, unique_count: usize, bins: usize) -> Self {
         let bins = bins.max(1);
-        let width = ((unique_count.max(1) + bins - 1) / bins).max(1) as u32;
+        let width = unique_count.max(1).div_ceil(bins).max(1) as u32;
         let mut counts = vec![0u64; bins];
         for &id in encoded.ids() {
             let b = ((id / width) as usize).min(bins - 1);
@@ -68,8 +68,7 @@ impl PrecisionDistribution {
         if total == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            self.counts.iter().enumerate().map(|(b, &c)| (b as u64 + 1) * c).sum();
+        let weighted: u64 = self.counts.iter().enumerate().map(|(b, &c)| (b as u64 + 1) * c).sum();
         weighted as f64 / total as f64
     }
 }

@@ -1,0 +1,144 @@
+//! Edge cases of the packing pipeline: empty inputs, single chunks,
+//! all-identical chunks, and raw bitstream round-trips at awkward widths.
+
+use meadow_packing::bitstream::BitWriter;
+use meadow_packing::chunk::{decompose, ChunkConfig};
+use meadow_packing::{PackedWeights, PackingConfig, PackingLevel};
+use meadow_tensor::Matrix;
+
+#[test]
+fn bitstream_round_trips_empty_input() {
+    let stream = BitWriter::new().into_stream();
+    assert_eq!(stream.bit_len(), 0);
+    assert_eq!(stream.byte_len(), 0);
+    let mut reader = stream.reader();
+    assert_eq!(reader.remaining(), 0);
+    assert!(reader.read(1).is_err(), "reading past the end must fail");
+}
+
+#[test]
+fn bitstream_round_trips_single_value_at_every_width() {
+    for bits in 1..=64u32 {
+        let value = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut writer = BitWriter::new();
+        writer.write(value, bits).unwrap();
+        let stream = writer.into_stream();
+        assert_eq!(stream.bit_len(), u64::from(bits));
+        let mut reader = stream.reader();
+        assert_eq!(reader.read(bits).unwrap(), value, "width {bits}");
+        assert_eq!(reader.remaining(), 0);
+    }
+}
+
+#[test]
+fn bitstream_round_trips_identical_values_across_word_boundaries() {
+    // 13-bit fields repeatedly straddle the 64-bit word boundary.
+    let mut writer = BitWriter::new();
+    for _ in 0..100 {
+        writer.write(0x1ABC, 13).unwrap();
+    }
+    let stream = writer.into_stream();
+    assert_eq!(stream.bit_len(), 1300);
+    let mut reader = stream.reader();
+    for i in 0..100 {
+        assert_eq!(reader.read(13).unwrap(), 0x1ABC, "field {i}");
+    }
+    assert_eq!(reader.remaining(), 0);
+}
+
+#[test]
+fn bitstream_rejects_oversized_writes() {
+    let mut writer = BitWriter::new();
+    assert!(writer.write(0, 65).is_err(), "width beyond u64");
+    assert!(writer.write(0b100, 2).is_err(), "value wider than the field");
+    writer.write(0, 0).unwrap();
+    assert_eq!(writer.bit_len(), 0, "zero-width writes are no-ops");
+}
+
+#[test]
+fn zero_bit_reads_are_no_ops() {
+    let mut writer = BitWriter::new();
+    writer.write(7, 3).unwrap();
+    let stream = writer.into_stream();
+    let mut reader = stream.reader();
+    assert_eq!(reader.read(0).unwrap(), 0);
+    assert_eq!(reader.remaining(), 3);
+    assert_eq!(reader.read(3).unwrap(), 7);
+}
+
+#[test]
+fn packing_handles_empty_matrix_at_every_level() {
+    let w = Matrix::<i8>::zeros(0, 0);
+    for level in PackingLevel::all() {
+        let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
+        assert_eq!(packed.unpack().unwrap(), w, "{level:?}");
+        assert_eq!(packed.decode_ids().unwrap(), Vec::<u32>::new(), "{level:?}");
+    }
+}
+
+#[test]
+fn packing_handles_single_chunk_matrix() {
+    // One row exactly one chunk wide: the smallest non-empty decomposition.
+    let chunk_elems = PackingConfig::default().chunk.chunk_elems;
+    let data: Vec<i8> = (0..chunk_elems).map(|i| i as i8 - 3).collect();
+    let w = Matrix::from_vec(1, chunk_elems, data).unwrap();
+    for level in PackingLevel::all() {
+        let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
+        assert_eq!(packed.unpack().unwrap(), w, "{level:?}");
+        assert_eq!(packed.decode_ids().unwrap(), vec![0], "single chunk gets ID 0 ({level:?})");
+        assert_eq!(packed.unique().len(), 1, "{level:?}");
+    }
+}
+
+#[test]
+fn packing_collapses_all_identical_chunks_to_one_unique() {
+    // 32 rows × 8 chunks, every chunk byte-identical: the unique matrix must
+    // contain exactly one entry and all IDs must be zero.
+    let chunk_elems = ChunkConfig::default().chunk_elems;
+    let cols = chunk_elems * 8;
+    let w = Matrix::from_vec(32, cols, vec![42i8; 32 * cols]).unwrap();
+
+    let (unique, encoded) = decompose(&w, ChunkConfig::default()).unwrap();
+    assert_eq!(unique.len(), 1);
+    assert!(encoded.ids().iter().all(|&id| id == 0));
+
+    for level in PackingLevel::all() {
+        let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
+        assert_eq!(packed.unpack().unwrap(), w, "{level:?}");
+        assert_eq!(packed.unique().len(), 1, "{level:?}");
+        assert!(
+            packed.packed_bits() < packed.raw_bits(),
+            "fully redundant matrix must compress at {level:?}: {} >= {}",
+            packed.packed_bits(),
+            packed.raw_bits()
+        );
+    }
+}
+
+#[test]
+fn packing_survives_alternating_two_chunk_palette() {
+    // Exactly two distinct chunks alternating: IDs need exactly 1 bit of
+    // uniform precision, the tightest non-trivial encode.
+    let chunk_elems = ChunkConfig::default().chunk_elems;
+    let cols = chunk_elems * 16;
+    let data: Vec<i8> =
+        (0..4 * cols).map(|i| if (i / chunk_elems) % 2 == 0 { 1 } else { -1 }).collect();
+    let w = Matrix::from_vec(4, cols, data).unwrap();
+    for level in PackingLevel::all() {
+        let packed = PackedWeights::pack(&w, &PackingConfig::default(), level).unwrap();
+        assert_eq!(packed.unpack().unwrap(), w, "{level:?}");
+        assert_eq!(packed.unique().len(), 2, "{level:?}");
+    }
+}
+
+#[test]
+fn single_row_single_element_chunks() {
+    // chunk_elems = 1 degenerates chunking to per-element dedup.
+    let cfg = PackingConfig { chunk: ChunkConfig { chunk_elems: 1 }, ..PackingConfig::default() };
+    let w = Matrix::from_vec(1, 6, vec![5i8, -5, 5, 0, 0, 5]).unwrap();
+    for level in PackingLevel::all() {
+        let packed = PackedWeights::pack(&w, &cfg, level).unwrap();
+        assert_eq!(packed.unpack().unwrap(), w, "{level:?}");
+        assert_eq!(packed.unique().len(), 3, "{level:?}");
+    }
+}

@@ -17,9 +17,7 @@ use std::collections::BTreeMap;
 
 /// What a DRAM transfer was for. Mirrors the categories of the paper's
 /// latency-distribution figures.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TrafficClass {
     /// Weight matrices (packed or raw).
     WeightFetch,
@@ -163,7 +161,11 @@ impl DramModel {
     ///
     /// Returns [`SimError::InvalidConfig`] if the bandwidth is not finite and
     /// positive, or if `burst_bytes` is zero.
-    pub fn new(bandwidth_gbps: f64, clock: ClockDomain, burst_bytes: u64) -> Result<Self, SimError> {
+    pub fn new(
+        bandwidth_gbps: f64,
+        clock: ClockDomain,
+        burst_bytes: u64,
+    ) -> Result<Self, SimError> {
         if !bandwidth_gbps.is_finite() || bandwidth_gbps <= 0.0 {
             return Err(SimError::InvalidConfig {
                 param: "bandwidth_gbps",

@@ -87,7 +87,12 @@ impl EnergyModel {
     ///
     /// A zero-duration interval reports zero power (no work can have
     /// happened in zero cycles under this model).
-    pub fn report(&self, activity: ActivityCounts, duration: Cycles, clock: ClockDomain) -> PowerReport {
+    pub fn report(
+        &self,
+        activity: ActivityCounts,
+        duration: Cycles,
+        clock: ClockDomain,
+    ) -> PowerReport {
         let secs = clock.to_seconds(duration);
         let dynamic_j = (activity.macs as f64 * self.mac_pj
             + activity.dram_bytes as f64 * self.dram_pj_per_byte
@@ -135,7 +140,7 @@ mod tests {
             dram_bytes: 30 << 20,
             bram_bytes: 60 << 20,
             noc_bytes: 60 << 20,
-            };
+        };
         let r = m.report(activity, Cycles(2_700_000), ClockDomain::zcu102());
         assert!(r.average_watts < 10.0, "power {}", r.average_watts);
         assert!(r.average_watts > m.static_watts);

@@ -57,7 +57,10 @@ impl Noc {
             });
         }
         if config.links == 0 {
-            return Err(SimError::InvalidConfig { param: "links", reason: "must be non-zero".into() });
+            return Err(SimError::InvalidConfig {
+                param: "links",
+                reason: "must be non-zero".into(),
+            });
         }
         Ok(Self { config, total_bytes: 0, total_link_cycles: 0 })
     }

@@ -203,7 +203,8 @@ mod tests {
         let k = 16;
         let n = 8;
         let x: Vec<i8> = (0..k).map(|i| (i as i8) - 7).collect();
-        let w: Vec<Vec<i8>> = (0..k).map(|i| (0..n).map(|j| ((i * j) % 11) as i8 - 5).collect()).collect();
+        let w: Vec<Vec<i8>> =
+            (0..k).map(|i| (0..n).map(|j| ((i * j) % 11) as i8 - 5).collect()).collect();
         let par = ParallelMacPe::default();
         let mut expected = vec![0i32; n];
         for (j, e) in expected.iter_mut().enumerate() {

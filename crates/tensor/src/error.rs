@@ -73,10 +73,9 @@ impl fmt::Display for TensorError {
             TensorError::ZeroParameter { name } => {
                 write!(f, "parameter `{name}` must be non-zero")
             }
-            TensorError::RaggedRows { expected, found } => write!(
-                f,
-                "ragged rows: expected length {expected}, found length {found}"
-            ),
+            TensorError::RaggedRows { expected, found } => {
+                write!(f, "ragged rows: expected length {expected}, found length {found}")
+            }
             TensorError::InvalidScale { scale } => {
                 write!(f, "invalid quantization scale {scale}")
             }

@@ -139,8 +139,8 @@ pub fn matmul_i8_tiled(
                 for i in i0..i1 {
                     let arow = a.row(i);
                     let orow = out.row_mut(i);
-                    for p in p0..p1 {
-                        let av = i32::from(arow[p]);
+                    for (p, &aval) in arow.iter().enumerate().take(p1).skip(p0) {
+                        let av = i32::from(aval);
                         let brow = b.row(p);
                         for j in j0..j1 {
                             orow[j] += av * i32::from(brow[j]);

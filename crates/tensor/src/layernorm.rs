@@ -37,7 +37,10 @@ impl LayerNormParams {
 ///
 /// Returns [`TensorError::ShapeMismatch`] if the parameter vectors do not
 /// match `x.cols()` or γ and β disagree in length.
-pub fn layernorm_rows(x: &Matrix<f32>, params: &LayerNormParams) -> Result<Matrix<f32>, TensorError> {
+pub fn layernorm_rows(
+    x: &Matrix<f32>,
+    params: &LayerNormParams,
+) -> Result<Matrix<f32>, TensorError> {
     if params.gamma.len() != x.cols() || params.beta.len() != x.cols() {
         return Err(TensorError::ShapeMismatch {
             lhs: x.shape(),

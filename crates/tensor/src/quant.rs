@@ -57,11 +57,7 @@ impl Default for QuantScale {
 /// Quantizes an `f32` matrix symmetrically to INT8 with the given scale.
 pub fn quantize_symmetric(m: &Matrix<f32>, scale: QuantScale) -> Matrix<i8> {
     let s = scale.value();
-    let data = m
-        .as_slice()
-        .iter()
-        .map(|&v| ((v / s).round()).clamp(-127.0, 127.0) as i8)
-        .collect();
+    let data = m.as_slice().iter().map(|&v| ((v / s).round()).clamp(-127.0, 127.0) as i8).collect();
     Matrix::from_vec(m.rows(), m.cols(), data).expect("same shape as input")
 }
 

@@ -7,7 +7,7 @@
 //! cargo run --release --example packing_explorer
 //! ```
 
-use meadow::models::synthetic::{generate_matrix, profile_for, matrix_seed};
+use meadow::models::synthetic::{generate_matrix, matrix_seed, profile_for};
 use meadow::models::MatrixKind;
 use meadow::packing::chunk::{decompose, reduction_ratio};
 use meadow::packing::reindex::frequency_reindex;

@@ -59,12 +59,10 @@ fn layer_outputs_depend_on_layer_weights() {
     )
     .unwrap();
     let scales = ForwardScales::default();
-    let l0 =
-        decoder_layer_forward(&x, weights.layer(0), config, ForwardMode::Gemm, &scales, &lut)
-            .unwrap();
-    let l1 =
-        decoder_layer_forward(&x, weights.layer(1), config, ForwardMode::Gemm, &scales, &lut)
-            .unwrap();
+    let l0 = decoder_layer_forward(&x, weights.layer(0), config, ForwardMode::Gemm, &scales, &lut)
+        .unwrap();
+    let l1 = decoder_layer_forward(&x, weights.layer(1), config, ForwardMode::Gemm, &scales, &lut)
+        .unwrap();
     assert_ne!(l0, l1, "different layers must transform differently");
 }
 

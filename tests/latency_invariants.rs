@@ -21,8 +21,7 @@ fn latency_is_monotone_in_bandwidth() {
 
 #[test]
 fn prefill_latency_grows_with_prompt_length() {
-    let engine =
-        MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
+    let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
     let mut prev = 0.0;
     for tokens in [4usize, 8, 16, 32, 64] {
         let ms = engine.prefill_latency(tokens).unwrap().total_ms();
@@ -67,10 +66,7 @@ fn packing_never_increases_weight_traffic() {
     let model = presets::opt_125m();
     let packed = MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).unwrap();
     let raw = MeadowEngine::new(EngineConfig {
-        plan: ExecutionPlan {
-            attention: meadow::dataflow::AttentionDataflow::Tphs,
-            packing: None,
-        },
+        plan: ExecutionPlan { attention: meadow::dataflow::AttentionDataflow::Tphs, packing: None },
         ..EngineConfig::zcu102(model, 12.0)
     })
     .unwrap();

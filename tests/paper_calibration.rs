@@ -18,8 +18,9 @@ use meadow::packing::{PackingConfig, PackingLevel};
 use std::sync::OnceLock;
 
 fn engine(baseline: Baseline, model: &meadow::models::TransformerConfig, bw: f64) -> MeadowEngine {
-    static STATS: OnceLock<std::sync::Mutex<std::collections::BTreeMap<String, ModelPackingStats>>> =
-        OnceLock::new();
+    static STATS: OnceLock<
+        std::sync::Mutex<std::collections::BTreeMap<String, ModelPackingStats>>,
+    > = OnceLock::new();
     let cache = STATS.get_or_init(Default::default);
     let config = baseline.engine_config(model.clone(), bw);
     let stats = if config.plan.packing.is_some() {

@@ -1,0 +1,430 @@
+//! Derive macros for the vendored mini-serde.
+//!
+//! crates.io is unreachable in this build environment, so instead of `syn` +
+//! `quote` this crate walks the raw [`proc_macro::TokenStream`] of the item
+//! and emits impl blocks as formatted strings. It supports the shapes this
+//! workspace actually derives on: unit/tuple/named structs, enums with
+//! unit/tuple/named variants, and simple type generics (`struct Matrix<T>`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum TypeKind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct TypeDef {
+    name: String,
+    generics: Vec<String>,
+    kind: TypeKind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_serialize(&def).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_deserialize(&def).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let item_kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    // Skip a `where` clause if present (stop at the body or trailing `;`).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let kind = if item_kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                TypeKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                TypeKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => TypeKind::UnitStruct,
+        }
+    } else if item_kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                TypeKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        panic!("#[derive(Serialize/Deserialize)] supports only structs and enums");
+    };
+
+    TypeDef { name, generics, kind }
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<...>` after the type name, returning type-parameter idents
+/// (lifetimes and const params are skipped).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    let mut in_lifetime = false;
+    let mut in_const = false;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                in_lifetime = false;
+                in_const = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' && at_param_start => {
+                in_lifetime = true;
+            }
+            TokenTree::Ident(id) if at_param_start => {
+                let s = id.to_string();
+                if in_lifetime {
+                    in_lifetime = false;
+                } else if s == "const" {
+                    in_const = true;
+                } else {
+                    if !in_const {
+                        params.push(s);
+                    }
+                    in_const = false;
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma; commas nested inside
+        // `<...>`, `(...)`, etc. are part of the type.
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(def: &TypeDef, trait_name: &str) -> String {
+    if def.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", def.name)
+    } else {
+        let bounded: Vec<String> =
+            def.generics.iter().map(|g| format!("{g}: ::serde::{trait_name}")).collect();
+        let args = def.generics.join(", ");
+        format!("impl<{}> ::serde::{trait_name} for {}<{args}> ", bounded.join(", "), def.name)
+    }
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let body = match &def.kind {
+        TypeKind::UnitStruct => "::serde::Value::Null".to_owned(),
+        TypeKind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        TypeKind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", items.join(", "))
+        }
+        TypeKind::Enum(variants) => {
+            let ty = &def.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({}) => ::serde::Value::Map(vec![(::std::string::String::from({vn:?}), ::serde::Value::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(::std::string::String::from({vn:?}), ::serde::Value::Map(vec![{}]))])",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "{header}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(def, "Serialize")
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let ty = &def.name;
+    let body = match &def.kind {
+        TypeKind::UnitStruct => format!("::std::result::Result::Ok({ty})"),
+        TypeKind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::__private::de_index(__v, {i})?")).collect();
+            format!("::std::result::Result::Ok({ty}({}))", items.join(", "))
+        }
+        TypeKind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::de_field(__v, {f:?})?"))
+                .collect();
+            format!("::std::result::Result::Ok({ty} {{ {} }})", items.join(", "))
+        }
+        TypeKind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!(
+                            "{vn:?} => return ::std::result::Result::Ok({ty}::{vn})"
+                        ));
+                        // A unit variant may also appear as a map key with a
+                        // null payload; accept that spelling too.
+                        payload_arms.push(format!(
+                            "if let ::std::option::Option::Some(_) = __v.get({vn:?}) {{ return ::std::result::Result::Ok({ty}::{vn}); }}"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::__private::de_index(__p, {i})?"))
+                            .collect();
+                        payload_arms.push(format!(
+                            "if let ::std::option::Option::Some(__p) = __v.get({vn:?}) {{ return ::std::result::Result::Ok({ty}::{vn}({})); }}",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__private::de_field(__p, {f:?})?"))
+                            .collect();
+                        payload_arms.push(format!(
+                            "if let ::std::option::Option::Some(__p) = __v.get({vn:?}) {{ return ::std::result::Result::Ok({ty}::{vn} {{ {} }}); }}",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::Str(__s) = __v {{ match __s.as_str() {{ {}, _ => {{}} }} }}",
+                    unit_arms.join(", ")
+                )
+            };
+            format!(
+                "{unit_match} {payloads} ::std::result::Result::Err(::serde::Error::msg(format!(\"no variant of `{ty}` matches {{__v:?}}\")))",
+                payloads = payload_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{header}{{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        header = impl_header(def, "Deserialize")
+    )
+}
