@@ -4,15 +4,20 @@
 //! cargo run --release -p meadow-bench --bin repro -- all
 //! cargo run --release -p meadow-bench --bin repro -- fig6 fig7
 //! cargo run --release -p meadow-bench --bin repro -- --list
+//! cargo run --release -p meadow-bench --bin repro -- --out-dir out/repro fig6
 //! ```
 //!
 //! Each artifact is printed as an aligned table (with the paper's claim for
-//! side-by-side comparison) and written as CSV under `target/repro/`.
+//! side-by-side comparison) and written as CSV under `target/repro/` (or
+//! `--out-dir`). Artifacts regenerate concurrently; set `MEADOW_THREADS`
+//! to bound the worker count.
 
 use meadow_bench::{
     ablations, default_out_dir, figs_design, figs_latency, figs_packing, Artifact, ReproContext,
 };
 use meadow_core::CoreError;
+use meadow_tensor::parallel::{par_map, ExecConfig};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 type Generator = fn(&ReproContext) -> Result<Artifact, CoreError>;
@@ -41,24 +46,41 @@ const GENERATORS: &[(&str, Generator)] = &[
 ];
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("Usage: repro [--list] [ARTIFACT...]");
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    if raw_args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("Usage: repro [--list] [--out-dir DIR] [ARTIFACT...]");
         println!();
         println!("Regenerates tables and figures from the MEADOW paper's evaluation.");
         println!("With no arguments (or `all`), regenerates every artifact. Tables are");
         println!("printed to stdout and written as CSV under target/repro/.");
         println!();
         println!("Options:");
-        println!("  --list        print the available artifact names and exit");
-        println!("  -h, --help    print this help and exit");
+        println!("  --list             print the available artifact names and exit");
+        println!("  --out-dir <DIR>    write CSVs under DIR instead of target/repro/");
+        println!("  -h, --help         print this help and exit");
         return ExitCode::SUCCESS;
     }
-    if args.iter().any(|a| a == "--list") {
+    if raw_args.iter().any(|a| a == "--list") {
         for (name, _) in GENERATORS {
             println!("{name}");
         }
         return ExitCode::SUCCESS;
+    }
+    let mut out_dir = default_out_dir();
+    let mut args = Vec::new();
+    let mut it = raw_args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out-dir" {
+            match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("missing value for `--out-dir`; see --help");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            args.push(arg);
+        }
     }
     let selected: Vec<&(&str, Generator)> = if args.is_empty() || args.iter().any(|a| a == "all") {
         GENERATORS.iter().collect()
@@ -75,23 +97,13 @@ fn main() -> ExitCode {
         }
         sel
     };
-    let out_dir = default_out_dir();
     let ctx = ReproContext::new();
-    // Artifacts are independent; regenerate them in parallel and print in
-    // the selection order.
-    let results: Vec<(&str, Result<Artifact, CoreError>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = selected
-            .iter()
-            .map(|(name, generator)| {
-                let ctx = &ctx;
-                (*name, scope.spawn(move || generator(ctx)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|(name, h)| (name, h.join().expect("generator must not panic")))
-            .collect()
-    });
+    // Artifacts are independent and ragged in cost; fan them out on the
+    // shared worker pool (MEADOW_THREADS or available parallelism) and
+    // print in the selection order.
+    let exec = ExecConfig::from_env();
+    let results: Vec<(&str, Result<Artifact, CoreError>)> =
+        par_map(&selected, &exec, |(name, generator)| (*name, generator(&ctx)));
     let mut failures = 0;
     for (name, result) in results {
         println!("==================================================================");

@@ -3,9 +3,14 @@
 //!
 //! Each `figXX` function regenerates one artifact as a
 //! [`meadow_core::report::Table`]; the `repro` binary prints them and writes
-//! CSVs under `target/repro/`. The `PAPER:` annotation strings document what
-//! the original reports, so divergence is visible right in the output (see
-//! `EXPERIMENTS.md` for the recorded comparison).
+//! CSVs under `target/repro/` (redirectable with `--out-dir`). The `PAPER:`
+//! annotation strings document what the original reports, so divergence is
+//! visible right in the output (see `EXPERIMENTS.md` for the recorded
+//! comparison).
+//!
+//! The [`perf`] module and its `perfbench` binary are the machine-readable
+//! performance surface: serial-vs-parallel timings of the hot paths as
+//! schema-versioned `BENCH_<id>.json`, with a regression gate used by CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,8 +20,10 @@ pub mod context;
 pub mod figs_design;
 pub mod figs_latency;
 pub mod figs_packing;
+pub mod perf;
 
 pub use context::ReproContext;
+pub use perf::{BenchReport, PerfOptions};
 
 use meadow_core::report::Table;
 use std::path::PathBuf;

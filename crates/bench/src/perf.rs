@@ -1,0 +1,392 @@
+//! Structured wall-clock performance harness with machine-readable output.
+//!
+//! The Criterion harnesses under `benches/` are for interactive
+//! exploration; this module is the *regression* surface. It times the
+//! workspace's hot paths — tiled INT8 GEMM, packing chunk decomposition,
+//! and the functional batch forward — serial vs parallel, with warmup and a
+//! fixed number of trials, and reports median/p95/min/mean per variant as a
+//! schema-versioned [`BenchReport`] that serializes to `BENCH_<id>.json`.
+//!
+//! CI runs the `perfbench` binary on every push, uploads the JSON as an
+//! artifact, and gates on [`find_regressions`] against the committed
+//! `bench/baseline.json` with a generous threshold so scheduler noise does
+//! not flake the build.
+
+use meadow_dataflow::forward::{batch_model_forward, model_forward, ForwardMode, ForwardScales};
+use meadow_models::presets;
+use meadow_models::weights::ModelWeights;
+use meadow_packing::chunk::{decompose, decompose_with, ChunkConfig};
+use meadow_tensor::fixed::ExpLut;
+use meadow_tensor::gemm::{matmul_i8_tiled, matmul_i8_tiled_with};
+use meadow_tensor::parallel::ExecConfig;
+use meadow_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Version stamped into every [`BenchReport`]. Bump when the JSON layout
+/// changes incompatibly so `--compare` can refuse mismatched files.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Knobs for one harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfOptions {
+    /// Worker threads for the parallel variants.
+    pub threads: usize,
+    /// Untimed warmup iterations per variant.
+    pub warmup: usize,
+    /// Timed trials per variant (median/p95 computed over these).
+    pub trials: usize,
+    /// Shrink problem sizes for CI smoke runs and tests.
+    pub quick: bool,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        Self { threads: ExecConfig::from_env().threads(), warmup: 3, trials: 10, quick: false }
+    }
+}
+
+/// Wall-clock statistics over the trials of one variant, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingStats {
+    /// Median trial time.
+    pub median_ms: f64,
+    /// 95th-percentile trial time (the regression gate ignores this, but
+    /// it makes noisy runs visible in the artifact).
+    pub p95_ms: f64,
+    /// Fastest trial.
+    pub min_ms: f64,
+    /// Mean trial time.
+    pub mean_ms: f64,
+}
+
+/// Runs `f` for `warmup` untimed and `trials` timed iterations.
+pub fn time_trials<F: FnMut()>(warmup: usize, trials: usize, mut f: F) -> TimingStats {
+    for _ in 0..warmup {
+        f();
+    }
+    let trials = trials.max(1);
+    let mut samples_ms: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples_ms.sort_by(|a, b| a.partial_cmp(b).expect("trial time is never NaN"));
+    let idx = |q: f64| ((samples_ms.len() as f64 * q).ceil() as usize).clamp(1, samples_ms.len());
+    TimingStats {
+        median_ms: samples_ms[idx(0.5) - 1],
+        p95_ms: samples_ms[idx(0.95) - 1],
+        min_ms: samples_ms[0],
+        mean_ms: samples_ms.iter().sum::<f64>() / samples_ms.len() as f64,
+    }
+}
+
+/// Serial-vs-parallel timings of one hot path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchCase {
+    /// Hot-path identifier (stable across runs; the compare key).
+    pub name: String,
+    /// Single-threaded reference timing.
+    pub serial: TimingStats,
+    /// Timing at [`BenchReport::threads`] workers.
+    pub parallel: TimingStats,
+    /// `serial.median_ms / parallel.median_ms` (> 1 is a parallel win).
+    pub speedup: f64,
+}
+
+/// One complete harness run: the content of a `BENCH_<id>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Caller-chosen run identifier (becomes the file name).
+    pub bench_id: String,
+    /// Worker threads used by the parallel variants.
+    pub threads: usize,
+    /// Untimed warmup iterations per variant.
+    pub warmup: usize,
+    /// Timed trials per variant.
+    pub trials: usize,
+    /// Whether reduced problem sizes were used.
+    pub quick: bool,
+    /// Per-hot-path results.
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    /// Canonical file name for this report.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.bench_id)
+    }
+
+    /// Pretty JSON for the artifact file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization errors from the vendored serde_json.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for malformed JSON or a schema mismatch.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        let report: Self = serde_json::from_str(text)?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(serde_json::Error::msg(format!(
+                "schema version {} does not match supported {SCHEMA_VERSION}",
+                report.schema_version
+            )));
+        }
+        Ok(report)
+    }
+
+    /// Looks up a case by name.
+    pub fn case(&self, name: &str) -> Option<&BenchCase> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+}
+
+fn random_i8_matrix(rows: usize, cols: usize, modulus: i32) -> Matrix<i8> {
+    // Deterministic pseudo-random fill with bounded distinct chunk pairs so
+    // the decompose path sees MEADOW-like redundancy.
+    let data: Vec<i8> = (0..rows * cols)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+            ((x as i32) % modulus - modulus / 2) as i8
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("shape matches data")
+}
+
+fn gemm_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (m, k, n, tile) = if opts.quick { (64, 96, 64, 16) } else { (256, 512, 256, 32) };
+    let a = random_i8_matrix(m, k, 127);
+    let b = random_i8_matrix(k, n, 127);
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(matmul_i8_tiled(&a, &b, tile, tile, tile).expect("valid shapes"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(
+            matmul_i8_tiled_with(&a, &b, tile, tile, tile, exec).expect("valid shapes"),
+        );
+    });
+    named_case(format!("gemm_i8_tiled_{m}x{k}x{n}"), serial, parallel)
+}
+
+fn packing_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (rows, cols) = if opts.quick { (128, 256) } else { (768, 1024) };
+    // Small modulus → few distinct 2-element chunks → realistic dedup load.
+    let w = random_i8_matrix(rows, cols, 23);
+    let config = ChunkConfig::default();
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(decompose(&w, config).expect("chunkable matrix"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(decompose_with(&w, config, exec).expect("chunkable matrix"));
+    });
+    named_case(format!("packing_decompose_{rows}x{cols}"), serial, parallel)
+}
+
+fn forward_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (batch, tokens) = if opts.quick { (2, 4) } else { (8, 16) };
+    let config = presets::tiny_decoder();
+    let weights = ModelWeights::synthesize(&config).expect("tiny model synthesizes");
+    let lut = ExpLut::hardware_default();
+    let scales = ForwardScales::default();
+    let inputs: Vec<Matrix<i8>> =
+        (0..batch).map(|i| random_i8_matrix(tokens, config.d_model, 101 + i)).collect();
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        for x in &inputs {
+            std::hint::black_box(
+                model_forward(x, &weights, ForwardMode::Gemm, &scales, &lut)
+                    .expect("forward succeeds"),
+            );
+        }
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(
+            batch_model_forward(&inputs, &weights, ForwardMode::Gemm, &scales, &lut, exec)
+                .expect("forward succeeds"),
+        );
+    });
+    named_case(format!("dataflow_batch_forward_{batch}x{tokens}"), serial, parallel)
+}
+
+fn named_case(name: String, serial: TimingStats, parallel: TimingStats) -> BenchCase {
+    let speedup =
+        if parallel.median_ms > 0.0 { serial.median_ms / parallel.median_ms } else { 0.0 };
+    BenchCase { name, serial, parallel, speedup }
+}
+
+/// Runs the whole suite and assembles the report.
+pub fn run_suite(bench_id: &str, opts: &PerfOptions) -> BenchReport {
+    let exec = ExecConfig::with_threads(opts.threads);
+    let cases = vec![gemm_case(opts, &exec), packing_case(opts, &exec), forward_case(opts, &exec)];
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        bench_id: bench_id.to_string(),
+        threads: exec.threads(),
+        warmup: opts.warmup,
+        trials: opts.trials,
+        quick: opts.quick,
+        cases,
+    }
+}
+
+/// One variant of one case regressing past the allowed threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Case name.
+    pub case: String,
+    /// `"serial"` or `"parallel"`.
+    pub variant: String,
+    /// Baseline best-trial time in ms.
+    pub baseline_ms: f64,
+    /// Current best-trial time in ms.
+    pub current_ms: f64,
+    /// Slowdown in percent over baseline (always > 0 for a regression).
+    pub regress_pct: f64,
+}
+
+/// Compares two reports case-by-case and returns every variant that slowed
+/// down by more than `max_regress_pct` percent.
+///
+/// The gate compares `min_ms` (fastest trial): the minimum is the
+/// least noise-sensitive statistic of a wall-clock sample — scheduler
+/// interference only ever adds time — so it flakes far less than the
+/// median on shared CI runners while still moving one-for-one with real
+/// code regressions. The medians/p95s stay in the report for humans.
+///
+/// Cases present in only one report are skipped (renaming a case resets
+/// its baseline rather than failing the gate); comparing reports produced
+/// with different `quick` settings or thread counts is the caller's
+/// responsibility.
+pub fn find_regressions(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    max_regress_pct: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for cur in &current.cases {
+        let Some(base) = baseline.case(&cur.name) else { continue };
+        for (variant, cur_ms, base_ms) in [
+            ("serial", cur.serial.min_ms, base.serial.min_ms),
+            ("parallel", cur.parallel.min_ms, base.parallel.min_ms),
+        ] {
+            if base_ms <= 0.0 {
+                continue;
+            }
+            let regress_pct = (cur_ms / base_ms - 1.0) * 100.0;
+            if regress_pct > max_regress_pct {
+                regressions.push(Regression {
+                    case: cur.name.clone(),
+                    variant: variant.to_string(),
+                    baseline_ms: base_ms,
+                    current_ms: cur_ms,
+                    regress_pct,
+                });
+            }
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> PerfOptions {
+        PerfOptions { threads: 2, warmup: 0, trials: 2, quick: true }
+    }
+
+    #[test]
+    fn timing_stats_are_ordered() {
+        let stats = time_trials(1, 7, || {
+            std::hint::black_box((0..2000).sum::<u64>());
+        });
+        assert!(stats.min_ms <= stats.median_ms);
+        assert!(stats.median_ms <= stats.p95_ms);
+        assert!(stats.mean_ms > 0.0);
+    }
+
+    #[test]
+    fn suite_emits_versioned_round_trippable_json() {
+        let report = run_suite("test", &quick_opts());
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.cases.len(), 3);
+        assert!(report.cases.iter().all(|c| c.speedup > 0.0));
+        assert_eq!(report.file_name(), "BENCH_test.json");
+        let json = report.to_json().unwrap();
+        assert!(json.contains("\"schema_version\""));
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn json_tree_matches_documented_schema() {
+        // The README documents the BENCH_*.json layout; hold the emitted
+        // tree to it via the Value accessors rather than string matching.
+        let report = run_suite("schema", &quick_opts());
+        let tree = serde_json::to_value(&report).unwrap();
+        assert_eq!(tree.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(tree.get("bench_id").and_then(|v| v.as_str()), Some("schema"));
+        assert_eq!(tree.get("threads").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(tree.get("quick").and_then(|v| v.as_bool()), Some(true));
+        let cases = tree.get("cases").and_then(|v| v.as_seq()).unwrap();
+        assert_eq!(cases.len(), 3);
+        for case in cases {
+            assert!(case.get("name").and_then(|v| v.as_str()).is_some());
+            for variant in ["serial", "parallel"] {
+                let stats = case.get(variant).unwrap();
+                for field in ["median_ms", "p95_ms", "min_ms", "mean_ms"] {
+                    let ms = stats.get(field).and_then(|v| v.as_f64()).unwrap();
+                    assert!(ms >= 0.0, "{variant}.{field} = {ms}");
+                }
+            }
+            assert!(case.get("speedup").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut report = run_suite("test", &quick_opts());
+        report.schema_version = SCHEMA_VERSION + 1;
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(BenchReport::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let report = run_suite("gate", &quick_opts());
+        assert!(find_regressions(&report, &report, 25.0).is_empty());
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        let baseline = run_suite("gate", &quick_opts());
+        let mut current = baseline.clone();
+        // Inject a 2× slowdown on one serial path: well past 25%.
+        current.cases[0].serial.min_ms = baseline.cases[0].serial.min_ms * 2.0;
+        let regressions = find_regressions(&current, &baseline, 25.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].variant, "serial");
+        assert!(regressions[0].regress_pct > 90.0);
+        // The same slowdown passes a 150% threshold.
+        assert!(find_regressions(&current, &baseline, 150.0).is_empty());
+    }
+
+    #[test]
+    fn renamed_cases_reset_rather_than_fail() {
+        let baseline = run_suite("gate", &quick_opts());
+        let mut current = baseline.clone();
+        current.cases[0].name = "renamed".into();
+        current.cases[0].serial.min_ms *= 100.0;
+        assert!(find_regressions(&current, &baseline, 25.0).is_empty());
+    }
+}

@@ -9,6 +9,7 @@ use meadow_models::{ModelKind, TransformerConfig};
 use meadow_packing::PackingConfig;
 use meadow_sim::energy::{ActivityCounts, EnergyModel, PowerReport};
 use meadow_sim::{ChipConfig, ClockDomain, Cycles, DramModel, TrafficLedger};
+use meadow_tensor::parallel::ExecConfig;
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of one engine instance.
@@ -26,6 +27,12 @@ pub struct EngineConfig {
     pub packing_config: PackingConfig,
     /// Baseline-modeling knobs (identity for GEMM and MEADOW).
     pub knobs: ScheduleKnobs,
+    /// Host-side execution policy for the engine's parallel work —
+    /// currently the per-matrix fan-out of
+    /// [`MeadowEngine::verify_lossless`]. Serial by default; callers that
+    /// want `MEADOW_THREADS` behaviour pass
+    /// [`ExecConfig::from_env`] via [`EngineConfig::with_exec`].
+    pub exec: ExecConfig,
 }
 
 impl EngineConfig {
@@ -38,7 +45,13 @@ impl EngineConfig {
             plan: ExecutionPlan::meadow(),
             packing_config: PackingConfig::default(),
             knobs: ScheduleKnobs::default(),
+            exec: ExecConfig::serial(),
         }
+    }
+
+    /// Returns the same configuration with a different execution policy.
+    pub fn with_exec(self, exec: ExecConfig) -> Self {
+        Self { exec, ..self }
     }
 
     /// The paper's GEMM baseline on the ZCU102.
@@ -175,6 +188,26 @@ impl MeadowEngine {
     /// Precomputed packing statistics, if the plan packs weights.
     pub fn packing_stats(&self) -> Option<&ModelPackingStats> {
         self.packing_stats.as_ref()
+    }
+
+    /// Verifies whole-model pack→unpack bit-exactness on this engine's
+    /// model and packing configuration, using the engine's execution policy
+    /// ([`EngineConfig::exec`]) to fan the per-matrix checks out across
+    /// worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and packing errors.
+    pub fn verify_lossless(
+        &self,
+        max_rows: usize,
+    ) -> Result<crate::accuracy::LosslessReport, CoreError> {
+        crate::accuracy::verify_model_lossless_with(
+            &self.config.model,
+            &self.config.packing_config,
+            max_rows,
+            &self.config.exec,
+        )
     }
 
     fn fresh_dram(&self) -> Result<DramModel, CoreError> {

@@ -165,6 +165,7 @@ pub fn auto_engine(
         plan: ExecutionPlan { attention: entry.best, packing: Some(PackingLevel::FrequencyAware) },
         packing_config,
         knobs: meadow_dataflow::schedule::ScheduleKnobs::default(),
+        exec: meadow_tensor::parallel::ExecConfig::serial(),
     };
     crate::engine::MeadowEngine::with_packing_stats(config, Some(stats))
 }

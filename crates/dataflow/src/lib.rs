@@ -34,4 +34,5 @@ pub mod tphs;
 
 pub use breakdown::{LayerLatency, OpLatency};
 pub use error::DataflowError;
+pub use meadow_tensor::parallel::ExecConfig;
 pub use schedule::{AttentionDataflow, ExecutionPlan, LayerParams};

@@ -9,6 +9,7 @@
 //! OPT decoder weights.
 
 use crate::error::PackingError;
+use meadow_tensor::parallel::{par_map_ranges, ExecConfig};
 use meadow_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -228,6 +229,28 @@ pub fn decompose(
     w: &Matrix<i8>,
     config: ChunkConfig,
 ) -> Result<(UniqueMatrix, EncodedMatrix), PackingError> {
+    decompose_with(w, config, &ExecConfig::serial())
+}
+
+/// [`decompose`] with caller-chosen parallelism.
+///
+/// Row ranges are decomposed independently on the worker threads of `exec`
+/// (each building a local first-occurrence chunk table), then merged in row
+/// order. Because a worker's table lists chunks in first-occurrence order
+/// of its own rows, and workers are merged in row order skipping
+/// already-seen chunks, the merged table reproduces the *global*
+/// first-occurrence order exactly — IDs and table are bit-identical to the
+/// serial [`decompose`] for every thread count.
+///
+/// # Errors
+///
+/// Returns [`PackingError::ZeroChunkSize`] or [`PackingError::NotChunkable`]
+/// for invalid chunk configurations.
+pub fn decompose_with(
+    w: &Matrix<i8>,
+    config: ChunkConfig,
+    exec: &ExecConfig,
+) -> Result<(UniqueMatrix, EncodedMatrix), PackingError> {
     if config.chunk_elems == 0 {
         return Err(PackingError::ZeroChunkSize);
     }
@@ -235,24 +258,46 @@ pub fn decompose(
         return Err(PackingError::NotChunkable { cols: w.cols(), chunk_elems: config.chunk_elems });
     }
     let chunk_cols = w.cols() / config.chunk_elems;
+    // Per worker: local unique table (first-occurrence order) + local IDs.
+    let locals = par_map_ranges(w.rows(), exec, |rows| {
+        let mut table: HashMap<&[i8], u32> = HashMap::new();
+        let mut chunks: Vec<&[i8]> = Vec::new();
+        let mut ids = Vec::with_capacity(rows.len() * chunk_cols);
+        for r in rows {
+            for chunk in w.row(r).chunks(config.chunk_elems) {
+                let id = match table.get(chunk) {
+                    Some(&id) => id,
+                    None => {
+                        let id = chunks.len() as u32;
+                        chunks.push(chunk);
+                        // Map keys borrow from `w`, which outlives the map.
+                        table.insert(chunk, id);
+                        id
+                    }
+                };
+                ids.push(id);
+            }
+        }
+        (chunks, ids)
+    });
+    // Merge in row order: assign global IDs at global first occurrence.
     let mut table: HashMap<&[i8], u32> = HashMap::new();
     let mut chunks: Vec<Vec<i8>> = Vec::new();
     let mut ids = Vec::with_capacity(w.rows() * chunk_cols);
-    for r in 0..w.rows() {
-        let row = w.row(r);
-        for chunk in row.chunks(config.chunk_elems) {
-            let id = match table.get(chunk) {
+    for (local_chunks, local_ids) in locals {
+        let remap: Vec<u32> = local_chunks
+            .into_iter()
+            .map(|chunk| match table.get(chunk) {
                 Some(&id) => id,
                 None => {
                     let id = chunks.len() as u32;
                     chunks.push(chunk.to_vec());
-                    // Map keys borrow from `w`, which outlives the map.
                     table.insert(chunk, id);
                     id
                 }
-            };
-            ids.push(id);
-        }
+            })
+            .collect();
+        ids.extend(local_ids.into_iter().map(|local| remap[local as usize]));
     }
     Ok((
         UniqueMatrix { chunks, chunk_elems: config.chunk_elems },
@@ -359,6 +404,31 @@ mod tests {
     fn unique_matrix_size_accounting() {
         let (unique, _) = decompose(&sample(), ChunkConfig::default()).unwrap();
         assert_eq!(unique.size_bytes(), 6);
+    }
+
+    #[test]
+    fn parallel_decompose_is_bit_identical() {
+        // Chunks that first appear in different row regions, so the merge
+        // order actually matters.
+        let mut rows = Vec::new();
+        for r in 0..32i32 {
+            let mut row = Vec::new();
+            for c in 0..16i32 {
+                let v = ((r * 7 + c * 3) % 11) as i8;
+                row.push(v);
+                row.push(v.wrapping_sub((r % 5) as i8));
+            }
+            rows.push(row);
+        }
+        let refs: Vec<&[i8]> = rows.iter().map(Vec::as_slice).collect();
+        let w = Matrix::from_rows(&refs).unwrap();
+        let (unique, encoded) = decompose(&w, ChunkConfig::default()).unwrap();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let exec = ExecConfig::with_threads(threads);
+            let (pu, pe) = decompose_with(&w, ChunkConfig::default(), &exec).unwrap();
+            assert_eq!(pu, unique, "unique table diverged at {threads} threads");
+            assert_eq!(pe, encoded, "encoded ids diverged at {threads} threads");
+        }
     }
 
     #[test]

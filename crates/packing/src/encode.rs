@@ -19,9 +19,10 @@
 
 use crate::bits_for_ids;
 use crate::bitstream::{BitStream, BitWriter};
-use crate::chunk::{decompose, reconstruct, ChunkConfig, EncodedMatrix, UniqueMatrix};
+use crate::chunk::{decompose_with, reconstruct, ChunkConfig, EncodedMatrix, UniqueMatrix};
 use crate::error::PackingError;
 use crate::reindex::frequency_reindex;
+use meadow_tensor::parallel::ExecConfig;
 use meadow_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -122,7 +123,24 @@ impl PackedWeights {
         config: &PackingConfig,
         level: PackingLevel,
     ) -> Result<Self, PackingError> {
-        let (unique, encoded) = decompose(w, config.chunk)?;
+        Self::pack_with(w, config, level, &ExecConfig::serial())
+    }
+
+    /// [`PackedWeights::pack`] with caller-chosen parallelism for the chunk
+    /// decomposition (the dominant cost of packing). The packed result is
+    /// bit-identical for every thread count because
+    /// [`decompose_with`] preserves the serial first-occurrence ID order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PackedWeights::pack`].
+    pub fn pack_with(
+        w: &Matrix<i8>,
+        config: &PackingConfig,
+        level: PackingLevel,
+        exec: &ExecConfig,
+    ) -> Result<Self, PackingError> {
+        let (unique, encoded) = decompose_with(w, config.chunk, exec)?;
         Self::from_decomposition(unique, encoded, config, level)
     }
 

@@ -49,6 +49,7 @@ pub mod wilu;
 pub use chunk::{ChunkConfig, EncodedMatrix, UniqueMatrix};
 pub use encode::{PackedWeights, PackingConfig, PackingLevel};
 pub use error::PackingError;
+pub use meadow_tensor::parallel::ExecConfig;
 pub use wilu::WiluModule;
 
 /// Number of bits needed to represent IDs in `[0, count)`, minimum 1.

@@ -2,6 +2,7 @@
 
 use crate::chunk::{EncodedMatrix, UniqueMatrix};
 use crate::encode::{bits_needed, PackedWeights};
+use meadow_tensor::parallel::{par_map_ranges, ExecConfig};
 use serde::{Deserialize, Serialize};
 
 /// A binned histogram of chunk-ID occurrences (Figs. 10b/10c).
@@ -19,12 +20,34 @@ impl IdHistogram {
     /// Builds a histogram of the encoded matrix's IDs with `bins` equal-width
     /// bins over `[0, unique_count)`.
     pub fn new(encoded: &EncodedMatrix, unique_count: usize, bins: usize) -> Self {
+        Self::new_with(encoded, unique_count, bins, &ExecConfig::serial())
+    }
+
+    /// [`IdHistogram::new`] with caller-chosen parallelism: workers count
+    /// disjoint ID ranges and the partial histograms are summed. Integer
+    /// addition commutes, so the result is identical for every thread count.
+    pub fn new_with(
+        encoded: &EncodedMatrix,
+        unique_count: usize,
+        bins: usize,
+        exec: &ExecConfig,
+    ) -> Self {
         let bins = bins.max(1);
         let width = unique_count.max(1).div_ceil(bins).max(1) as u32;
+        let ids = encoded.ids();
+        let partials = par_map_ranges(ids.len(), exec, |range| {
+            let mut counts = vec![0u64; bins];
+            for &id in &ids[range] {
+                let b = ((id / width) as usize).min(bins - 1);
+                counts[b] += 1;
+            }
+            counts
+        });
         let mut counts = vec![0u64; bins];
-        for &id in encoded.ids() {
-            let b = ((id / width) as usize).min(bins - 1);
-            counts[b] += 1;
+        for partial in partials {
+            for (total, c) in counts.iter_mut().zip(partial) {
+                *total += c;
+            }
         }
         let bin_edges = (0..bins as u32).map(|b| b * width).collect();
         Self { bin_edges, counts, bin_width: width }
@@ -52,9 +75,25 @@ pub struct PrecisionDistribution {
 impl PrecisionDistribution {
     /// Computes the distribution over an encoded matrix.
     pub fn new(encoded: &EncodedMatrix) -> Self {
+        Self::new_with(encoded, &ExecConfig::serial())
+    }
+
+    /// [`PrecisionDistribution::new`] with caller-chosen parallelism (same
+    /// partial-count summation as [`IdHistogram::new_with`]).
+    pub fn new_with(encoded: &EncodedMatrix, exec: &ExecConfig) -> Self {
+        let ids = encoded.ids();
+        let partials = par_map_ranges(ids.len(), exec, |range| {
+            let mut counts = vec![0u64; 32];
+            for &id in &ids[range] {
+                counts[(bits_needed(id) - 1) as usize] += 1;
+            }
+            counts
+        });
         let mut counts = vec![0u64; 32];
-        for &id in encoded.ids() {
-            counts[(bits_needed(id) - 1) as usize] += 1;
+        for partial in partials {
+            for (total, c) in counts.iter_mut().zip(partial) {
+                *total += c;
+            }
         }
         while counts.len() > 1 && *counts.last().unwrap() == 0 {
             counts.pop();
@@ -178,6 +217,18 @@ mod tests {
         assert!(s.compression_ratio > 1.0);
         assert!(s.stream_bits_per_id > 0.0);
         assert!(s.reduction_ratio > 1.0);
+    }
+
+    #[test]
+    fn parallel_stats_match_serial() {
+        let (unique, encoded) = decompose(&skewed(), ChunkConfig::default()).unwrap();
+        let serial_h = IdHistogram::new(&encoded, unique.len(), 4);
+        let serial_d = PrecisionDistribution::new(&encoded);
+        for threads in [2usize, 4, 8] {
+            let exec = ExecConfig::with_threads(threads);
+            assert_eq!(IdHistogram::new_with(&encoded, unique.len(), 4, &exec), serial_h);
+            assert_eq!(PrecisionDistribution::new_with(&encoded, &exec), serial_d);
+        }
     }
 
     #[test]

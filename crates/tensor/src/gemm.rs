@@ -12,6 +12,7 @@
 
 use crate::error::TensorError;
 use crate::matrix::Matrix;
+use crate::parallel::{par_map_ranges, ExecConfig};
 
 /// Multiplies `a (M×K) × b (K×N)` with INT32 accumulation.
 ///
@@ -60,6 +61,24 @@ pub fn matmul_i8(a: &Matrix<i8>, b: &Matrix<i8>) -> Result<Matrix<i32>, TensorEr
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b_t.cols()`.
 pub fn matmul_i8_bt(a: &Matrix<i8>, b_t: &Matrix<i8>) -> Result<Matrix<i32>, TensorError> {
+    matmul_i8_bt_with(a, b_t, &ExecConfig::serial())
+}
+
+/// [`matmul_i8_bt`] with caller-chosen parallelism: output rows are
+/// partitioned across the worker threads of `exec`.
+///
+/// Each output row is computed by exactly one worker in the same
+/// per-element order as the serial path, so the result is bit-identical to
+/// [`matmul_i8_bt`] for every thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b_t.cols()`.
+pub fn matmul_i8_bt_with(
+    a: &Matrix<i8>,
+    b_t: &Matrix<i8>,
+    exec: &ExecConfig,
+) -> Result<Matrix<i32>, TensorError> {
     if a.cols() != b_t.cols() {
         return Err(TensorError::ShapeMismatch {
             lhs: a.shape(),
@@ -69,15 +88,31 @@ pub fn matmul_i8_bt(a: &Matrix<i8>, b_t: &Matrix<i8>) -> Result<Matrix<i32>, Ten
     }
     let m = a.rows();
     let n = b_t.rows();
-    let mut out = Matrix::<i32>::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let orow = out.row_mut(i);
-        for (j, o) in orow.iter_mut().enumerate() {
-            *o = dot_i8(arow, b_t.row(j));
+    let blocks = par_map_ranges(m, exec, |rows| {
+        let mut block = Vec::with_capacity(rows.len() * n);
+        for i in rows {
+            let arow = a.row(i);
+            for j in 0..n {
+                block.push(dot_i8(arow, b_t.row(j)));
+            }
         }
+        block
+    });
+    Matrix::from_vec(m, n, concat_blocks(blocks, m * n))
+}
+
+/// Stitches per-range row blocks into one flat buffer; the single-block
+/// (serial) case hands its buffer through without copying, keeping the
+/// default path allocation-identical to a direct write.
+fn concat_blocks(mut blocks: Vec<Vec<i32>>, total: usize) -> Vec<i32> {
+    if blocks.len() == 1 {
+        return blocks.pop().expect("len checked");
     }
-    Ok(out)
+    let mut data = Vec::with_capacity(total);
+    for block in blocks {
+        data.extend_from_slice(&block);
+    }
+    data
 }
 
 /// Exact INT32 dot product of two INT8 slices.
@@ -108,6 +143,31 @@ pub fn matmul_i8_tiled(
     tile_n: usize,
     tile_k: usize,
 ) -> Result<Matrix<i32>, TensorError> {
+    matmul_i8_tiled_with(a, b, tile_m, tile_n, tile_k, &ExecConfig::serial())
+}
+
+/// [`matmul_i8_tiled`] with caller-chosen parallelism: row-tile blocks are
+/// partitioned across the worker threads of `exec`.
+///
+/// Partition boundaries always fall on `tile_m` multiples, so every worker
+/// traverses its rows in exactly the serial tile order, and each output row
+/// is accumulated by exactly one worker. INT32 addition over exact INT8
+/// products is order-safe per row partition, so the result is bit-identical
+/// to the serial reference for every thread count — the property the
+/// workspace's equivalence suite checks exhaustively.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions disagree
+/// and [`TensorError::ZeroParameter`] if any tile size is zero.
+pub fn matmul_i8_tiled_with(
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    tile_m: usize,
+    tile_n: usize,
+    tile_k: usize,
+    exec: &ExecConfig,
+) -> Result<Matrix<i32>, TensorError> {
     if tile_m == 0 {
         return Err(TensorError::ZeroParameter { name: "tile_m" });
     }
@@ -124,12 +184,34 @@ pub fn matmul_i8_tiled(
             op: "matmul_tiled",
         });
     }
-    let (m, k) = a.shape();
+    let m = a.rows();
     let n = b.cols();
-    let mut out = Matrix::<i32>::zeros(m, n);
-    let mut i0 = 0;
-    while i0 < m {
-        let i1 = (i0 + tile_m).min(m);
+    let row_tiles = m.div_ceil(tile_m);
+    let blocks = par_map_ranges(row_tiles, exec, |tiles| {
+        let rows = tiles.start * tile_m..(tiles.end * tile_m).min(m);
+        tiled_row_block(a, b, rows, tile_m, tile_n, tile_k)
+    });
+    Matrix::from_vec(m, n, concat_blocks(blocks, m * n))
+}
+
+/// Serial tiled GEMM over the output rows `rows` (which must start on a
+/// `tile_m` boundary), returned as a flat row-major block.
+fn tiled_row_block(
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    rows: std::ops::Range<usize>,
+    tile_m: usize,
+    tile_n: usize,
+    tile_k: usize,
+) -> Vec<i32> {
+    debug_assert!(rows.start.is_multiple_of(tile_m), "row block misaligned to tile_m");
+    let k = a.cols();
+    let n = b.cols();
+    let base = rows.start;
+    let mut block = vec![0i32; rows.len() * n];
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let i1 = (i0 + tile_m).min(rows.end);
         let mut j0 = 0;
         while j0 < n {
             let j1 = (j0 + tile_n).min(n);
@@ -138,7 +220,7 @@ pub fn matmul_i8_tiled(
                 let p1 = (p0 + tile_k).min(k);
                 for i in i0..i1 {
                     let arow = a.row(i);
-                    let orow = out.row_mut(i);
+                    let orow = &mut block[(i - base) * n..(i - base + 1) * n];
                     for (p, &aval) in arow.iter().enumerate().take(p1).skip(p0) {
                         let av = i32::from(aval);
                         let brow = b.row(p);
@@ -153,7 +235,7 @@ pub fn matmul_i8_tiled(
         }
         i0 = i1;
     }
-    Ok(out)
+    block
 }
 
 /// Requantizes a single INT32 accumulator value to INT8:
@@ -230,6 +312,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_tiled_is_bit_identical() {
+        let (a, b) = small();
+        let reference = matmul_i8(&a, &b).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let exec = ExecConfig::with_threads(threads);
+            for tm in 1..=3 {
+                let par = matmul_i8_tiled_with(&a, &b, tm, 2, 2, &exec).unwrap();
+                assert_eq!(par, reference, "threads {threads} tile_m {tm}");
+            }
+            let bt = matmul_i8_bt_with(&a, &b.transposed(), &exec).unwrap();
+            assert_eq!(bt, reference, "bt threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_empty_and_mismatch() {
+        let exec = ExecConfig::with_threads(4);
+        let empty = Matrix::<i8>::zeros(0, 3);
+        let b = Matrix::<i8>::zeros(3, 2);
+        let out = matmul_i8_tiled_with(&empty, &b, 2, 2, 2, &exec).unwrap();
+        assert_eq!(out.shape(), (0, 2));
+        let bad = Matrix::<i8>::zeros(2, 2);
+        assert!(matmul_i8_tiled_with(&bad, &b, 2, 2, 2, &exec).is_err());
+        assert!(matmul_i8_bt_with(&bad, &b.transposed(), &exec).is_err());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   module (Fig. 2d of the paper).
 //! * [`layernorm`] / [`activations`] — LayerNorm, ReLU and GELU references.
 //! * [`fixed`] — small fixed-point helpers used by the LUT datapaths.
+//! * [`parallel`] — [`ExecConfig`] and the scoped-thread partitioning
+//!   helpers behind the `*_with` parallel kernels (bit-identical to their
+//!   serial counterparts; thread count via `MEADOW_THREADS`).
 //!
 //! # Example
 //!
@@ -36,8 +39,10 @@ pub mod fixed;
 pub mod gemm;
 pub mod layernorm;
 pub mod matrix;
+pub mod parallel;
 pub mod quant;
 pub mod softmax;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use parallel::ExecConfig;

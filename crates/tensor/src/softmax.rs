@@ -4,8 +4,9 @@
 //! The paper's SM module (Fig. 2d, Eq. 1) computes, per token,
 //! `SM_i = exp(x_i - max) / Σ_j exp(x_j - max)` in three pipelined stages
 //! (MAX → EXP → DIV), with the exponent taken from an on-chip LUT.
-//! [`softmax_exact`] is the float reference; [`softmax_lut`] reproduces the
-//! LUT datapath bit-for-bit against the simulator's softmax unit.
+//! [`softmax_row_exact`] is the float reference; [`softmax_row_lut`]
+//! reproduces the LUT datapath bit-for-bit against the simulator's softmax
+//! unit.
 
 use crate::error::TensorError;
 use crate::fixed::ExpLut;

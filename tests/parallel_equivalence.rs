@@ -1,0 +1,139 @@
+//! Property tests for the parallel execution subsystem: every parallel hot
+//! path must be **bit-identical** to its serial counterpart across thread
+//! counts 1/2/4/8 and ragged shapes. This is the contract that lets the
+//! perfbench numbers stand in for the serial reference.
+
+use meadow::packing::chunk::{decompose, decompose_with, ChunkConfig};
+use meadow::packing::stats::{IdHistogram, PrecisionDistribution};
+use meadow::packing::{PackedWeights, PackingConfig, PackingLevel};
+use meadow::tensor::gemm::{matmul_i8, matmul_i8_bt, matmul_i8_bt_with, matmul_i8_tiled_with};
+use meadow::tensor::parallel::{partition, ExecConfig};
+use meadow::tensor::Matrix;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn matrix_from(data: Vec<i8>, rows: usize, cols: usize) -> Matrix<i8> {
+    Matrix::from_vec(rows, cols, data).expect("generated shape matches data")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_tiled_gemm_is_bit_identical(
+        (m, k, n, a_data, b_data) in (1usize..24, 1usize..16, 1usize..24).prop_flat_map(
+            |(m, k, n)| (
+                Just(m),
+                Just(k),
+                Just(n),
+                vec(-128i8..=127, m * k),
+                vec(-128i8..=127, k * n),
+            )
+        ),
+        tile_m in 1usize..6,
+        tile_n in 1usize..6,
+        tile_k in 1usize..6,
+    ) {
+        let a = matrix_from(a_data, m, k);
+        let b = matrix_from(b_data, k, n);
+        let reference = matmul_i8(&a, &b).expect("shapes agree");
+        for threads in THREAD_COUNTS {
+            let exec = ExecConfig::with_threads(threads);
+            let par = matmul_i8_tiled_with(&a, &b, tile_m, tile_n, tile_k, &exec)
+                .expect("shapes agree");
+            prop_assert_eq!(
+                &par, &reference,
+                "tiled {}x{}x{} tiles ({},{},{}) threads {}",
+                m, k, n, tile_m, tile_n, tile_k, threads
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_bt_gemm_is_bit_identical(
+        (m, k, n, a_data, bt_data) in (1usize..24, 1usize..16, 1usize..24).prop_flat_map(
+            |(m, k, n)| (
+                Just(m),
+                Just(k),
+                Just(n),
+                vec(-128i8..=127, m * k),
+                vec(-128i8..=127, n * k),
+            )
+        ),
+    ) {
+        let a = matrix_from(a_data, m, k);
+        let b_t = matrix_from(bt_data, n, k);
+        let reference = matmul_i8_bt(&a, &b_t).expect("shapes agree");
+        for threads in THREAD_COUNTS {
+            let exec = ExecConfig::with_threads(threads);
+            let par = matmul_i8_bt_with(&a, &b_t, &exec).expect("shapes agree");
+            prop_assert_eq!(&par, &reference, "bt {}x{}x{} threads {}", m, k, n, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_decompose_and_pack_are_bit_identical(
+        (rows, chunk_cols, data) in (1usize..40, 1usize..24).prop_flat_map(
+            |(rows, chunk_cols)| (
+                Just(rows),
+                Just(chunk_cols),
+                // A small value alphabet keeps the unique table non-trivial
+                // (repeated chunks) while ragged row counts vary freely.
+                vec(-3i8..=3, rows * chunk_cols * 2),
+            )
+        ),
+    ) {
+        let w = matrix_from(data, rows, chunk_cols * 2);
+        let config = ChunkConfig::default();
+        let (unique, encoded) = decompose(&w, config).expect("chunkable");
+        let serial_hist = IdHistogram::new(&encoded, unique.len(), 8);
+        let serial_dist = PrecisionDistribution::new(&encoded);
+        let packing = PackingConfig::default();
+        let serial_packed = PackedWeights::pack(&w, &packing, PackingLevel::FrequencyAware)
+            .expect("packable");
+        for threads in THREAD_COUNTS {
+            let exec = ExecConfig::with_threads(threads);
+            let (pu, pe) = decompose_with(&w, config, &exec).expect("chunkable");
+            prop_assert_eq!(&pu, &unique, "unique table, {} threads", threads);
+            prop_assert_eq!(&pe, &encoded, "encoded ids, {} threads", threads);
+            prop_assert_eq!(
+                &IdHistogram::new_with(&pe, pu.len(), 8, &exec),
+                &serial_hist,
+                "histogram, {} threads",
+                threads
+            );
+            prop_assert_eq!(
+                &PrecisionDistribution::new_with(&pe, &exec),
+                &serial_dist,
+                "precision distribution, {} threads",
+                threads
+            );
+            let packed = PackedWeights::pack_with(&w, &packing, PackingLevel::FrequencyAware, &exec)
+                .expect("packable");
+            prop_assert_eq!(&packed, &serial_packed, "packed stream, {} threads", threads);
+            prop_assert_eq!(packed.unpack().expect("round trip"), w.clone());
+        }
+    }
+
+    #[test]
+    fn partition_is_a_cover_for_ragged_lengths(len in 0usize..300, parts in 1usize..12) {
+        let ranges = partition(len, parts);
+        let mut next = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end > r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, len);
+        prop_assert!(ranges.len() <= parts.max(1));
+        if len > 0 {
+            // Near-equal split: sizes differ by at most one element.
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let min = sizes.iter().min().copied().unwrap();
+            let max = sizes.iter().max().copied().unwrap();
+            prop_assert!(max - min <= 1, "uneven split {:?}", sizes);
+        }
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! crates.io is unreachable in this build environment, so this crate
 //! implements the slice of the proptest API the workspace's property tests
-//! use: the `proptest!` test-definition macro, `prop_assert!`/
-//! `prop_assert_eq!`, `prop_oneof!`, `Just`, `any::<T>()`, integer/float
-//! range strategies, tuple strategies, `prop_map`/`prop_flat_map`, and
-//! `collection::vec`.
+//! use: the `proptest!` test-definition macro (argument position accepts
+//! irrefutable patterns, e.g. tuple destructuring of a `prop_flat_map`
+//! strategy), `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `Just`,
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! `prop_map`/`prop_flat_map`, and `collection::vec`.
 //!
 //! Sampling is deterministic (SplitMix64 keyed on a per-test seed and the
 //! case index), so failures reproduce across runs. There is no shrinking:
@@ -398,7 +399,7 @@ macro_rules! proptest {
 macro_rules! __proptest_impl {
     (@config($config:expr) $(
         $(#[$meta:meta])+
-        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
     )*) => {$(
         $(#[$meta])+
         fn $name() {
