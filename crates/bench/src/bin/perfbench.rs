@@ -4,18 +4,29 @@
 //! cargo run --release --bin perfbench                       # run, write BENCH_local.json
 //! cargo run --release --bin perfbench -- --threads 4 --id ci
 //! cargo run --release --bin perfbench -- --compare bench/baseline.json --max-regress 25
+//! cargo run --release --bin perfbench -- --compare bench/baseline.json --gate ratio
 //! cargo run --release --bin perfbench -- --current a.json --compare b.json
 //! ```
 //!
-//! Times the tiled INT8 GEMM, packing chunk decomposition, and functional
-//! batch forward serial vs parallel (warmup + N trials, median/p95), emits
-//! a schema-versioned `BENCH_<id>.json`, and — in `--compare` mode — exits
-//! nonzero when any best-trial time (`min_ms`, the noise-robust statistic)
-//! regresses past `--max-regress` percent.
+//! Times the tiled INT8 GEMM, packing chunk decomposition, functional batch
+//! forward and continuous-batching serve simulator serial vs parallel
+//! (warmup + N trials, median/p95), emits a schema-versioned
+//! `BENCH_<id>.json`, and — in `--compare` mode — exits nonzero on a
+//! regression past `--max-regress` percent. `--gate absolute` (default)
+//! compares best-trial times (`min_ms`, the noise-robust statistic) and
+//! needs a baseline from like hardware; `--gate ratio` compares each case's
+//! parallel/serial ratio, which is machine-normalized and safe against
+//! baselines recorded on different hardware.
 
 use meadow_bench::perf::{self, BenchReport, PerfOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum GateMode {
+    Absolute,
+    Ratio,
+}
 
 struct Args {
     out_dir: PathBuf,
@@ -24,6 +35,7 @@ struct Args {
     compare: Option<PathBuf>,
     current: Option<PathBuf>,
     max_regress_pct: f64,
+    gate: GateMode,
 }
 
 fn print_help() {
@@ -45,6 +57,9 @@ fn print_help() {
     println!("  --current <FILE>     with --compare: read the current report from FILE");
     println!("                       instead of running the suite");
     println!("  --max-regress <PCT>  allowed slowdown in percent (default 25)");
+    println!("  --gate <MODE>        comparison mode: `absolute` (best-trial ms, needs a");
+    println!("                       like-hardware baseline; default) or `ratio`");
+    println!("                       (parallel/serial ratio per case, machine-normalized)");
     println!("  -h, --help           print this help and exit");
 }
 
@@ -56,6 +71,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         compare: None,
         current: None,
         max_regress_pct: 25.0,
+        gate: GateMode::Absolute,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -84,6 +100,17 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.max_regress_pct = value("--max-regress")?
                     .parse()
                     .map_err(|e| format!("bad --max-regress value: {e}"))?;
+            }
+            "--gate" => {
+                args.gate = match value("--gate")?.as_str() {
+                    "absolute" => GateMode::Absolute,
+                    "ratio" => GateMode::Ratio,
+                    other => {
+                        return Err(format!(
+                            "bad --gate value `{other}`; expected `absolute` or `ratio`"
+                        ))
+                    }
+                };
             }
             other => return Err(format!("unknown option `{other}`; see --help")),
         }
@@ -189,28 +216,56 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    let regressions = perf::find_regressions(&current, &baseline, args.max_regress_pct);
-    if regressions.is_empty() {
-        println!(
-            "no regression beyond {:.1}% vs {} ({} cases compared)",
-            args.max_regress_pct,
-            baseline_path.display(),
-            current.cases.iter().filter(|c| baseline.case(&c.name).is_some()).count()
-        );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "{} regression(s) beyond {:.1}% vs {}:",
-            regressions.len(),
-            args.max_regress_pct,
-            baseline_path.display()
-        );
-        for r in &regressions {
+    let compared = current.cases.iter().filter(|c| baseline.case(&c.name).is_some()).count();
+    match args.gate {
+        GateMode::Absolute => {
+            let regressions = perf::find_regressions(&current, &baseline, args.max_regress_pct);
+            if regressions.is_empty() {
+                println!(
+                    "no regression beyond {:.1}% vs {} ({compared} cases compared)",
+                    args.max_regress_pct,
+                    baseline_path.display(),
+                );
+                return ExitCode::SUCCESS;
+            }
             eprintln!(
-                "  {} [{}]: {:.3} ms -> {:.3} ms (+{:.1}%)",
-                r.case, r.variant, r.baseline_ms, r.current_ms, r.regress_pct
+                "{} regression(s) beyond {:.1}% vs {}:",
+                regressions.len(),
+                args.max_regress_pct,
+                baseline_path.display()
             );
+            for r in &regressions {
+                eprintln!(
+                    "  {} [{}]: {:.3} ms -> {:.3} ms (+{:.1}%)",
+                    r.case, r.variant, r.baseline_ms, r.current_ms, r.regress_pct
+                );
+            }
+            ExitCode::FAILURE
         }
-        ExitCode::FAILURE
+        GateMode::Ratio => {
+            let regressions =
+                perf::find_ratio_regressions(&current, &baseline, args.max_regress_pct);
+            if regressions.is_empty() {
+                println!(
+                    "no parallel/serial ratio worse than baseline by {:.1}% vs {} ({compared} cases compared)",
+                    args.max_regress_pct,
+                    baseline_path.display(),
+                );
+                return ExitCode::SUCCESS;
+            }
+            eprintln!(
+                "{} ratio regression(s) beyond {:.1}% vs {}:",
+                regressions.len(),
+                args.max_regress_pct,
+                baseline_path.display()
+            );
+            for r in &regressions {
+                eprintln!(
+                    "  {}: parallel/serial ratio {:.3} -> {:.3} (+{:.1}%)",
+                    r.case, r.baseline_ratio, r.current_ratio, r.regress_pct
+                );
+            }
+            ExitCode::FAILURE
+        }
     }
 }

@@ -13,7 +13,8 @@
 //! to bound the worker count.
 
 use meadow_bench::{
-    ablations, default_out_dir, figs_design, figs_latency, figs_packing, Artifact, ReproContext,
+    ablations, default_out_dir, figs_design, figs_latency, figs_packing, figs_serve, Artifact,
+    ReproContext,
 };
 use meadow_core::CoreError;
 use meadow_tensor::parallel::{par_map, ExecConfig};
@@ -38,6 +39,7 @@ const GENERATORS: &[(&str, Generator)] = &[
     ("fig12b", figs_design::fig12b),
     ("fig13", figs_design::fig13),
     ("lossless", figs_packing::lossless),
+    ("serve", figs_serve::serve_artifact),
     ("ablation_chunk", ablations::ablation_chunk),
     ("ablation_payload", ablations::ablation_payload),
     ("ablation_parallelism", ablations::ablation_parallelism),

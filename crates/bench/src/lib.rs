@@ -20,6 +20,7 @@ pub mod context;
 pub mod figs_design;
 pub mod figs_latency;
 pub mod figs_packing;
+pub mod figs_serve;
 pub mod perf;
 
 pub use context::ReproContext;

@@ -3,18 +3,25 @@
 //! The Criterion harnesses under `benches/` are for interactive
 //! exploration; this module is the *regression* surface. It times the
 //! workspace's hot paths — tiled INT8 GEMM, packing chunk decomposition,
-//! and the functional batch forward — serial vs parallel, with warmup and a
-//! fixed number of trials, and reports median/p95/min/mean per variant as a
+//! the functional batch forward, and the continuous-batching serving
+//! simulator — serial vs parallel, with warmup and a fixed number of
+//! trials, and reports median/p95/min/mean per variant as a
 //! schema-versioned [`BenchReport`] that serializes to `BENCH_<id>.json`.
 //!
 //! CI runs the `perfbench` binary on every push, uploads the JSON as an
-//! artifact, and gates on [`find_regressions`] against the committed
-//! `bench/baseline.json` with a generous threshold so scheduler noise does
-//! not flake the build.
+//! artifact, and gates on [`find_ratio_regressions`] against the committed
+//! `bench/baseline.json`: the serial-vs-parallel *ratio* per case is
+//! machine-normalized, so the gate works even when the baseline was
+//! recorded on different hardware than the CI runner. The absolute
+//! [`find_regressions`] gate remains available via `perfbench --gate
+//! absolute` for same-machine comparisons.
 
+use meadow_core::serve::{serve, ServeConfig};
+use meadow_core::{EngineConfig, MeadowEngine};
 use meadow_dataflow::forward::{batch_model_forward, model_forward, ForwardMode, ForwardScales};
 use meadow_models::presets;
 use meadow_models::weights::ModelWeights;
+use meadow_models::workload::ArrivalTrace;
 use meadow_packing::chunk::{decompose, decompose_with, ChunkConfig};
 use meadow_tensor::fixed::ExpLut;
 use meadow_tensor::gemm::{matmul_i8_tiled, matmul_i8_tiled_with};
@@ -218,6 +225,28 @@ fn forward_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     named_case(format!("dataflow_batch_forward_{batch}x{tokens}"), serial, parallel)
 }
 
+fn serve_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (requests, generate) = if opts.quick { (4, 6) } else { (8, 12) };
+    let model = presets::tiny_decoder();
+    // Dense arrivals (tick scale) and a squeezed budget exercise the full
+    // scheduler: admission, eviction, reload and the batched measurement
+    // fan-out (the axis the parallel variant accelerates).
+    let trace = ArrivalTrace::uniform(requests, 0.01, 16, generate);
+    let budget = trace.total_peak_kv_bytes(&model) / 2;
+    let config = ServeConfig::default().with_budget(budget);
+    let serial_engine =
+        MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).expect("valid engine");
+    let parallel_engine = MeadowEngine::new(EngineConfig::zcu102(model, 12.0).with_exec(*exec))
+        .expect("valid engine");
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(serve(&serial_engine, &trace, &config).expect("serve succeeds"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(serve(&parallel_engine, &trace, &config).expect("serve succeeds"));
+    });
+    named_case(format!("serve_continuous_batch_{requests}x{generate}"), serial, parallel)
+}
+
 fn named_case(name: String, serial: TimingStats, parallel: TimingStats) -> BenchCase {
     let speedup =
         if parallel.median_ms > 0.0 { serial.median_ms / parallel.median_ms } else { 0.0 };
@@ -227,7 +256,12 @@ fn named_case(name: String, serial: TimingStats, parallel: TimingStats) -> Bench
 /// Runs the whole suite and assembles the report.
 pub fn run_suite(bench_id: &str, opts: &PerfOptions) -> BenchReport {
     let exec = ExecConfig::with_threads(opts.threads);
-    let cases = vec![gemm_case(opts, &exec), packing_case(opts, &exec), forward_case(opts, &exec)];
+    let cases = vec![
+        gemm_case(opts, &exec),
+        packing_case(opts, &exec),
+        forward_case(opts, &exec),
+        serve_case(opts, &exec),
+    ];
     BenchReport {
         schema_version: SCHEMA_VERSION,
         bench_id: bench_id.to_string(),
@@ -297,6 +331,64 @@ pub fn find_regressions(
     regressions
 }
 
+/// One case whose parallel-vs-serial *ratio* worsened past the threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioRegression {
+    /// Case name.
+    pub case: String,
+    /// Baseline `parallel.min_ms / serial.min_ms` (lower is better).
+    pub baseline_ratio: f64,
+    /// Current `parallel.min_ms / serial.min_ms`.
+    pub current_ratio: f64,
+    /// Worsening in percent over the baseline ratio (always > 0).
+    pub regress_pct: f64,
+}
+
+/// Compares the **parallel-vs-serial ratio** of each case against the
+/// baseline's, flagging cases whose ratio worsened by more than
+/// `max_regress_pct` percent.
+///
+/// Both the numerator and denominator of a ratio come from the *same* run
+/// on the *same* machine, so the gate is machine-normalized: a baseline
+/// recorded on slow or core-starved hardware still gates a fast CI runner
+/// meaningfully, which absolute `min_ms` comparison cannot do. The trade:
+/// a uniform slowdown that hits serial and parallel alike passes — pair the
+/// ratio gate with occasional absolute-baseline refreshes when chasing
+/// single-thread regressions. Thread counts must still match between the
+/// runs for ratios to be comparable (the `perfbench` binary warns).
+///
+/// Cases present in only one report, or with non-positive serial times, are
+/// skipped — renaming a case resets its baseline rather than failing the
+/// gate.
+pub fn find_ratio_regressions(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    max_regress_pct: f64,
+) -> Vec<RatioRegression> {
+    let mut regressions = Vec::new();
+    for cur in &current.cases {
+        let Some(base) = baseline.case(&cur.name) else { continue };
+        if cur.serial.min_ms <= 0.0 || base.serial.min_ms <= 0.0 {
+            continue;
+        }
+        let current_ratio = cur.parallel.min_ms / cur.serial.min_ms;
+        let baseline_ratio = base.parallel.min_ms / base.serial.min_ms;
+        if baseline_ratio <= 0.0 {
+            continue;
+        }
+        let regress_pct = (current_ratio / baseline_ratio - 1.0) * 100.0;
+        if regress_pct > max_regress_pct {
+            regressions.push(RatioRegression {
+                case: cur.name.clone(),
+                baseline_ratio,
+                current_ratio,
+                regress_pct,
+            });
+        }
+    }
+    regressions
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,7 +411,7 @@ mod tests {
     fn suite_emits_versioned_round_trippable_json() {
         let report = run_suite("test", &quick_opts());
         assert_eq!(report.schema_version, SCHEMA_VERSION);
-        assert_eq!(report.cases.len(), 3);
+        assert_eq!(report.cases.len(), 4);
         assert!(report.cases.iter().all(|c| c.speedup > 0.0));
         assert_eq!(report.file_name(), "BENCH_test.json");
         let json = report.to_json().unwrap();
@@ -339,7 +431,7 @@ mod tests {
         assert_eq!(tree.get("threads").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(tree.get("quick").and_then(|v| v.as_bool()), Some(true));
         let cases = tree.get("cases").and_then(|v| v.as_seq()).unwrap();
-        assert_eq!(cases.len(), 3);
+        assert_eq!(cases.len(), 4);
         for case in cases {
             assert!(case.get("name").and_then(|v| v.as_str()).is_some());
             for variant in ["serial", "parallel"] {
@@ -388,5 +480,49 @@ mod tests {
         current.cases[0].name = "renamed".into();
         current.cases[0].serial.min_ms *= 100.0;
         assert!(find_regressions(&current, &baseline, 25.0).is_empty());
+    }
+
+    #[test]
+    fn identical_reports_pass_the_ratio_gate() {
+        let report = run_suite("ratio", &quick_opts());
+        assert!(find_ratio_regressions(&report, &report, 25.0).is_empty());
+    }
+
+    #[test]
+    fn ratio_gate_is_machine_normalized() {
+        let baseline = run_suite("ratio", &quick_opts());
+        // A uniformly 3×-slower machine keeps every ratio unchanged: the
+        // absolute gate would flag everything, the ratio gate nothing.
+        let mut slower = baseline.clone();
+        for case in &mut slower.cases {
+            case.serial.min_ms *= 3.0;
+            case.parallel.min_ms *= 3.0;
+        }
+        assert!(!find_regressions(&slower, &baseline, 25.0).is_empty());
+        assert!(find_ratio_regressions(&slower, &baseline, 25.0).is_empty());
+    }
+
+    #[test]
+    fn parallel_only_regression_fails_the_ratio_gate() {
+        let baseline = run_suite("ratio", &quick_opts());
+        let mut current = baseline.clone();
+        // The parallel path alone slows 2×: ratio worsens 100%.
+        current.cases[1].parallel.min_ms = baseline.cases[1].parallel.min_ms * 2.0;
+        let regressions = find_ratio_regressions(&current, &baseline, 25.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].case, current.cases[1].name);
+        assert!(regressions[0].regress_pct > 90.0);
+        assert!(find_ratio_regressions(&current, &baseline, 150.0).is_empty());
+    }
+
+    #[test]
+    fn ratio_gate_skips_renamed_and_degenerate_cases() {
+        let baseline = run_suite("ratio", &quick_opts());
+        let mut current = baseline.clone();
+        current.cases[0].name = "renamed".into();
+        current.cases[0].parallel.min_ms *= 100.0;
+        current.cases[1].serial.min_ms = 0.0;
+        current.cases[1].parallel.min_ms *= 100.0;
+        assert!(find_ratio_regressions(&current, &baseline, 25.0).is_empty());
     }
 }

@@ -210,7 +210,9 @@ impl MeadowEngine {
         )
     }
 
-    fn fresh_dram(&self) -> Result<DramModel, CoreError> {
+    /// A fresh DRAM channel at this engine's bandwidth and clock (the serve
+    /// simulator charges KV-cache migration traffic on its own channel).
+    pub(crate) fn fresh_dram(&self) -> Result<DramModel, CoreError> {
         DramModel::with_bandwidth(self.config.bandwidth_gbps, self.config.chip.clock)
             .map_err(CoreError::from)
     }

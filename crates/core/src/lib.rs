@@ -11,6 +11,9 @@
 //!   design points (Fig. 12a).
 //! * [`roofline`] — roofline model and per-dataflow operating points
 //!   (Fig. 12b).
+//! * [`serve`] — the multi-session serving simulator: continuous batching
+//!   of many requests on one engine under an explicit KV-cache memory
+//!   budget with FIFO/LRU eviction.
 //! * [`vit`] — the DeiT vision-transformer inference path (Fig. 13).
 //! * [`accuracy`] — lossless-ness verification: bit-exact pack→unpack round
 //!   trips over whole model weight sets (the reproduction's stand-in for
@@ -27,8 +30,10 @@ pub mod error;
 pub mod planner;
 pub mod report;
 pub mod roofline;
+pub mod serve;
 pub mod session;
 pub mod vit;
 
 pub use engine::{EngineConfig, LatencyReport, MeadowEngine};
 pub use error::CoreError;
+pub use serve::{KvPolicy, ServeConfig, ServeReport, ServeTrace};

@@ -1,0 +1,671 @@
+//! Multi-session serving simulator with KV-cache memory accounting.
+//!
+//! [`InferenceSession`](crate::session::InferenceSession) walks one request
+//! at a time; a deployed edge accelerator instead serves many concurrent
+//! sessions contending for one KV-cache memory budget. This module runs an
+//! [`ArrivalTrace`] of requests through a single [`MeadowEngine`] under a
+//! continuous-batching scheduler:
+//!
+//! * **Admission** is head-of-line in arrival order: a request is admitted
+//!   only when its next step's KV cache fits alongside every resident
+//!   session's, against an explicit per-chip budget
+//!   ([`ServeConfig::kv_budget_bytes`], sized with
+//!   [`kv_cache_total_bytes`]).
+//! * **Eviction** frees residency when the growing caches of admitted
+//!   sessions overflow the budget, under a [`KvPolicy`] (FIFO by admission
+//!   recency or LRU by stepping recency). Spills and reloads are charged on
+//!   the engine's DRAM channel under
+//!   [`TrafficClass::KvCache`](meadow_sim::TrafficClass), on top of the
+//!   per-step attention traffic.
+//! * **Batching** interleaves prefill and decode steps: each scheduler tick
+//!   pipelines the batch through the model's layers like a flow shop
+//!   (stages = decoder layers, items = per-session steps, via
+//!   [`flow_shop_completion_times`]), so the tick costs far less than the
+//!   sum of its steps while every step is still measured with the exact
+//!   [`MeadowEngine::prefill_latency`]/[`MeadowEngine::decode_latency`]
+//!   machinery.
+//!
+//! The output is a per-request [`ServeTrace`] (queue wait, TTFT, TBT
+//! series, evictions) and an aggregate [`ServeReport`] (p50/p95 latency,
+//! tokens/sec, peak KV residency, migration traffic). Both are
+//! deterministic — bit-identical across `MEADOW_THREADS` settings — and a
+//! run with an unbounded budget reproduces exactly the per-token service
+//! latencies of independent sessions (the `tests/serve_invariants.rs`
+//! contract).
+
+use crate::engine::{LatencyReport, MeadowEngine};
+use crate::error::CoreError;
+use meadow_dataflow::pipeline::flow_shop_completion_times;
+use meadow_dataflow::LayerLatency;
+use meadow_models::workload::{kv_cache_total_bytes, ArrivalTrace, ServeRequest};
+use meadow_models::TransformerConfig;
+use meadow_sim::{Cycles, TrafficClass, TrafficLedger};
+use meadow_tensor::parallel::par_map;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Eviction policy for the serving KV-cache pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KvPolicy {
+    /// Evict the session (re)admitted longest ago.
+    Fifo,
+    /// Evict the session stepped longest ago.
+    Lru,
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Per-chip KV-cache memory budget in bytes (`None` = unbounded). Every
+    /// request's peak KV cache must fit the budget on its own.
+    pub kv_budget_bytes: Option<u64>,
+    /// Eviction policy when resident caches overflow the budget.
+    pub policy: KvPolicy,
+    /// Maximum sessions stepped per scheduler tick (continuous-batching
+    /// batch size). Admitted sessions beyond the cap stay resident but
+    /// idle; the least recently stepped sessions are scheduled first.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { kv_budget_bytes: None, policy: KvPolicy::Fifo, max_batch: usize::MAX }
+    }
+}
+
+impl ServeConfig {
+    /// Unbounded KV budget (no eviction can occur).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// The same configuration with a finite KV budget.
+    pub fn with_budget(self, kv_budget_bytes: u64) -> Self {
+        Self { kv_budget_bytes: Some(kv_budget_bytes), ..self }
+    }
+
+    /// The same configuration with a different eviction policy.
+    pub fn with_policy(self, policy: KvPolicy) -> Self {
+        Self { policy, ..self }
+    }
+
+    /// The same configuration with a batch-size cap.
+    pub fn with_max_batch(self, max_batch: usize) -> Self {
+        Self { max_batch, ..self }
+    }
+}
+
+/// Serving-side record of one completed request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeTrace {
+    /// Request identifier.
+    pub id: u32,
+    /// Prompt length.
+    pub prompt_tokens: usize,
+    /// Tokens generated (always equals the requested count).
+    pub generated_tokens: usize,
+    /// Arrival time on the serving clock, in ms.
+    pub arrival_ms: f64,
+    /// Arrival → first admission, in ms.
+    pub queue_wait_ms: f64,
+    /// Own prefill service latency in ms — comparable to
+    /// [`SessionTrace::ttft_ms`](crate::session::SessionTrace) and
+    /// independent of batching.
+    pub prefill_ms: f64,
+    /// Wall-clock time the first token completed, in ms.
+    pub first_token_ms: f64,
+    /// Wall-clock time the last token completed, in ms.
+    pub finish_ms: f64,
+    /// Own per-token service latency in ms, including KV reload penalties
+    /// after eviction (index 0 = first generated token).
+    pub tbt_ms: Vec<f64>,
+    /// Times this session's KV cache was evicted from the pool.
+    pub evictions: u32,
+    /// KV-cache bytes at the end of generation.
+    pub final_kv_bytes: u64,
+}
+
+impl ServeTrace {
+    /// Arrival → last token, in ms (what the user experienced).
+    pub fn total_latency_ms(&self) -> f64 {
+        self.finish_ms - self.arrival_ms
+    }
+
+    /// Arrival → first token, in ms (the serving-side TTFT: queue wait plus
+    /// batched prefill completion).
+    pub fn ttft_ms(&self) -> f64 {
+        self.first_token_ms - self.arrival_ms
+    }
+}
+
+/// Aggregate result of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Eviction policy used.
+    pub policy: KvPolicy,
+    /// KV budget in bytes (`None` = unbounded).
+    pub kv_budget_bytes: Option<u64>,
+    /// Batch-size cap used.
+    pub max_batch: usize,
+    /// Number of requests served.
+    pub requests: usize,
+    /// Total tokens generated across all requests.
+    pub total_generated_tokens: u64,
+    /// Scheduler ticks executed.
+    pub ticks: u64,
+    /// Wall-clock end of the run on the serving clock, in ms.
+    pub makespan_ms: f64,
+    /// Generated-token throughput over the whole run.
+    pub tokens_per_sec: f64,
+    /// Median request latency (arrival → last token), in ms.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile request latency, in ms.
+    pub p95_latency_ms: f64,
+    /// Peak simultaneous KV-cache residency in bytes.
+    pub peak_kv_bytes: u64,
+    /// Total evictions across all sessions.
+    pub total_evictions: u64,
+    /// DRAM traffic of the whole run: per-step fetch/compute/store classes
+    /// plus serving-level [`TrafficClass::KvCache`] migration.
+    pub ledger: TrafficLedger,
+    /// Per-request traces, in the input trace's request order.
+    pub traces: Vec<ServeTrace>,
+}
+
+impl ServeReport {
+    /// Looks up a trace by request id.
+    pub fn trace(&self, id: u32) -> Option<&ServeTrace> {
+        self.traces.iter().find(|t| t.id == id)
+    }
+
+    /// Pretty JSON for artifacts and golden snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization errors from the vendored serde_json.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+/// Scheduler-internal state of one request.
+#[derive(Debug, Clone)]
+struct Session {
+    req: ServeRequest,
+    generated: usize,
+    prefilled: bool,
+    evictions: u32,
+    /// Sequence number of the most recent (re)admission.
+    admission_seq: u64,
+    /// Tick of the most recent step (0 = never stepped).
+    last_step_tick: u64,
+    /// Set at first admission.
+    queue_wait_ms: Option<f64>,
+    /// KV bytes spilled at the last eviction, to reload on re-admission.
+    spilled_kv_bytes: u64,
+    /// KV bytes to reload before the next step.
+    pending_reload_bytes: u64,
+    prefill_ms: f64,
+    first_token_ms: f64,
+    finish_ms: f64,
+    tbt_ms: Vec<f64>,
+}
+
+impl Session {
+    fn new(req: ServeRequest) -> Self {
+        Self {
+            req,
+            generated: 0,
+            prefilled: false,
+            evictions: 0,
+            admission_seq: 0,
+            last_step_tick: 0,
+            queue_wait_ms: None,
+            spilled_kv_bytes: 0,
+            pending_reload_bytes: 0,
+            prefill_ms: 0.0,
+            first_token_ms: 0.0,
+            finish_ms: 0.0,
+            tbt_ms: Vec::new(),
+        }
+    }
+
+    /// KV bytes the session holds while resident (prompt + generated so
+    /// far; nothing before prefill).
+    fn resident_kv(&self, model: &TransformerConfig) -> u64 {
+        if self.prefilled {
+            kv_cache_total_bytes(model, self.req.prompt_tokens + self.generated)
+        } else {
+            0
+        }
+    }
+
+    /// KV bytes the session will hold after its next step (prefill writes
+    /// the whole prompt's keys/values; each decode step appends one token).
+    fn next_kv(&self, model: &TransformerConfig) -> u64 {
+        if self.prefilled {
+            kv_cache_total_bytes(model, self.req.prompt_tokens + self.generated + 1)
+        } else {
+            kv_cache_total_bytes(model, self.req.prompt_tokens)
+        }
+    }
+
+    fn victim_key(&self, policy: KvPolicy) -> (u64, u64, u32) {
+        match policy {
+            KvPolicy::Fifo => (self.admission_seq, self.last_step_tick, self.req.id),
+            KvPolicy::Lru => (self.last_step_tick, self.admission_seq, self.req.id),
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sorted sample (0 for an empty one).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[idx - 1]
+}
+
+/// Runs an arrival trace through the engine under a continuous-batching
+/// scheduler, returning the aggregate report. See the module docs for the
+/// scheduling and KV-accounting model.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when `max_batch` is zero or any
+/// request's peak KV cache exceeds the budget on its own (such a request
+/// could never run), and propagates request-validation and measurement
+/// errors.
+pub fn serve(
+    engine: &MeadowEngine,
+    trace: &ArrivalTrace,
+    config: &ServeConfig,
+) -> Result<ServeReport, CoreError> {
+    let model = &engine.config().model;
+    trace.validate(model)?;
+    if config.max_batch == 0 {
+        return Err(CoreError::InvalidConfig {
+            param: "max_batch",
+            reason: "must step at least one session per tick".into(),
+        });
+    }
+    if let Some(budget) = config.kv_budget_bytes {
+        for r in &trace.requests {
+            let peak = r.peak_kv_bytes(model);
+            if peak > budget {
+                return Err(CoreError::InvalidConfig {
+                    param: "kv_budget_bytes",
+                    reason: format!(
+                        "request {} needs {peak} KV bytes alone, budget is {budget}",
+                        r.id
+                    ),
+                });
+            }
+        }
+    }
+
+    let clock = engine.config().chip.clock;
+    let exec = engine.config().exec;
+    // Serving-level channel for KV spill/reload migration; per-step
+    // attention traffic is ledgered inside each LatencyReport.
+    let mut kv_dram = engine.fresh_dram()?;
+    let mut ledger = TrafficLedger::new();
+
+    let n = trace.requests.len();
+    let mut sessions: Vec<Session> = trace.requests.iter().map(|&r| Session::new(r)).collect();
+    // Arrival order: by time, ties broken by id for determinism.
+    let mut pending: Vec<usize> = (0..n).collect();
+    pending.sort_by(|&a, &b| {
+        sessions[a]
+            .req
+            .arrival_ms
+            .total_cmp(&sessions[b].req.arrival_ms)
+            .then(sessions[a].req.id.cmp(&sessions[b].req.id))
+    });
+    let mut pending: VecDeque<usize> = pending.into();
+    let mut wait: VecDeque<usize> = VecDeque::new();
+    let mut active: Vec<usize> = Vec::new();
+
+    let mut now = 0.0_f64;
+    let mut tick: u64 = 0;
+    let mut admission_counter: u64 = 0;
+    let mut peak_kv: u64 = 0;
+    let mut total_evictions: u64 = 0;
+    let mut completed = 0usize;
+
+    while completed < n {
+        tick += 1;
+        // Idle chip: jump to the next arrival.
+        if active.is_empty() && wait.is_empty() {
+            if let Some(&next) = pending.front() {
+                now = now.max(sessions[next].req.arrival_ms);
+            }
+        }
+        // Arrivals.
+        while pending.front().is_some_and(|&i| sessions[i].req.arrival_ms <= now) {
+            wait.push_back(pending.pop_front().expect("front checked above"));
+        }
+        // Head-of-line admission: the head joins when its next step fits
+        // alongside every resident session's next step (conservative:
+        // assumes all of them grow this tick).
+        while let Some(&head) = wait.front() {
+            let projected: u64 = active.iter().map(|&i| sessions[i].next_kv(model)).sum::<u64>()
+                + sessions[head].next_kv(model);
+            if config.kv_budget_bytes.is_some_and(|b| projected > b) {
+                break;
+            }
+            wait.pop_front();
+            admission_counter += 1;
+            let s = &mut sessions[head];
+            s.admission_seq = admission_counter;
+            if s.queue_wait_ms.is_none() {
+                s.queue_wait_ms = Some(now - s.req.arrival_ms);
+            }
+            // A re-admitted session must reload its spilled cache.
+            s.pending_reload_bytes = s.spilled_kv_bytes;
+            s.spilled_kv_bytes = 0;
+            active.push(head);
+        }
+        // Step-set selection: least recently stepped first (fair
+        // round-robin under a batch cap), deterministic tiebreaks.
+        let mut order = active.clone();
+        order.sort_by_key(|&i| {
+            (sessions[i].last_step_tick, sessions[i].admission_seq, sessions[i].req.id)
+        });
+        let mut step_set: Vec<usize> = order.iter().copied().take(config.max_batch).collect();
+        let mut idle: Vec<usize> = order.iter().copied().skip(config.max_batch).collect();
+        // Budget enforcement: evict until the tick fits. Idle sessions with
+        // resident caches go first (freeing them costs no progress), then
+        // members of the step set.
+        let mut spill_cycles = Cycles::ZERO;
+        if let Some(budget) = config.kv_budget_bytes {
+            loop {
+                let needed: u64 = step_set.iter().map(|&i| sessions[i].next_kv(model)).sum::<u64>()
+                    + idle.iter().map(|&i| sessions[i].resident_kv(model)).sum::<u64>();
+                if needed <= budget {
+                    break;
+                }
+                let victim = idle
+                    .iter()
+                    .copied()
+                    .filter(|&i| sessions[i].resident_kv(model) > 0)
+                    .min_by_key(|&i| sessions[i].victim_key(config.policy))
+                    .or_else(|| {
+                        // Evicting the last stepping session is impossible:
+                        // a single next step always fits (validated above).
+                        step_set
+                            .iter()
+                            .copied()
+                            .min_by_key(|&i| sessions[i].victim_key(config.policy))
+                    })
+                    .expect("an over-budget tick always has an evictable session");
+                idle.retain(|&i| i != victim);
+                step_set.retain(|&i| i != victim);
+                active.retain(|&i| i != victim);
+                let s = &mut sessions[victim];
+                if s.prefilled {
+                    // Only a session that actually holds (or owes) a cache
+                    // counts as evicted; bumping a not-yet-prefilled session
+                    // back to the queue is a preemption that spills nothing.
+                    total_evictions += 1;
+                    s.evictions += 1;
+                    if s.pending_reload_bytes > 0 {
+                        // Evicted again before reloading: the cache never
+                        // came back on chip, so nothing is written out.
+                        s.spilled_kv_bytes = s.pending_reload_bytes;
+                        s.pending_reload_bytes = 0;
+                    } else {
+                        let bytes = s.resident_kv(model);
+                        spill_cycles += kv_dram.transfer(TrafficClass::KvCache, bytes);
+                        s.spilled_kv_bytes = bytes;
+                    }
+                }
+                wait.push_back(victim);
+            }
+        }
+        debug_assert!(!step_set.is_empty(), "a tick with work must step a session");
+        // Reload spilled caches for re-admitted sessions about to step.
+        let reload_cycles: Vec<Cycles> = step_set
+            .iter()
+            .map(|&i| {
+                let bytes = std::mem::take(&mut sessions[i].pending_reload_bytes);
+                if bytes > 0 {
+                    kv_dram.transfer(TrafficClass::KvCache, bytes)
+                } else {
+                    Cycles::ZERO
+                }
+            })
+            .collect();
+        // Measure every step with the exact single-request machinery; the
+        // fan-out is the engine's execution policy and the results are
+        // order-preserving, so the run is bit-identical across thread
+        // counts.
+        let measured: Vec<Result<LatencyReport, CoreError>> = par_map(&step_set, &exec, |&i| {
+            let s = &sessions[i];
+            if s.prefilled {
+                engine.decode_latency(s.req.prompt_tokens, s.generated + 1)
+            } else {
+                engine.prefill_latency(s.req.prompt_tokens)
+            }
+        });
+        let mut matrix: Vec<Vec<Cycles>> = Vec::with_capacity(step_set.len());
+        let mut solo_ms: Vec<f64> = Vec::with_capacity(step_set.len());
+        for (report, &reload) in measured.into_iter().zip(&reload_cycles) {
+            let report = report?;
+            let mut row: Vec<Cycles> = report.layers.iter().map(LayerLatency::makespan).collect();
+            // The reload must land before the first layer can run.
+            row[0] += reload;
+            solo_ms.push(report.total_ms() + clock.to_ms(reload));
+            ledger.merge(&report.ledger);
+            matrix.push(row);
+        }
+        // Continuous batching: the batch pipelines through the layers like
+        // a flow shop; spills occupy the channel before the batch starts.
+        let finishes = flow_shop_completion_times(&matrix);
+        let tick_cycles = spill_cycles + finishes.last().copied().unwrap_or(Cycles::ZERO);
+        let mut finished: Vec<usize> = Vec::new();
+        for ((&i, &finish), own_ms) in step_set.iter().zip(&finishes).zip(solo_ms) {
+            let s = &mut sessions[i];
+            s.last_step_tick = tick;
+            let done_ms = now + clock.to_ms(spill_cycles + finish);
+            if s.prefilled {
+                s.generated += 1;
+                s.tbt_ms.push(own_ms);
+                if s.generated == s.req.generate_tokens {
+                    s.finish_ms = done_ms;
+                    finished.push(i);
+                }
+            } else {
+                s.prefilled = true;
+                s.prefill_ms = own_ms;
+                s.first_token_ms = done_ms;
+            }
+        }
+        // Residency peaks at tick end, before completed caches are freed.
+        let resident: u64 = active.iter().map(|&i| sessions[i].resident_kv(model)).sum();
+        peak_kv = peak_kv.max(resident);
+        active.retain(|i| !finished.contains(i));
+        completed += finished.len();
+        now += clock.to_ms(tick_cycles);
+    }
+
+    ledger.merge(kv_dram.ledger());
+    let traces: Vec<ServeTrace> = sessions
+        .iter()
+        .map(|s| ServeTrace {
+            id: s.req.id,
+            prompt_tokens: s.req.prompt_tokens,
+            generated_tokens: s.generated,
+            arrival_ms: s.req.arrival_ms,
+            queue_wait_ms: s.queue_wait_ms.unwrap_or(0.0),
+            prefill_ms: s.prefill_ms,
+            first_token_ms: s.first_token_ms,
+            finish_ms: s.finish_ms,
+            tbt_ms: s.tbt_ms.clone(),
+            evictions: s.evictions,
+            final_kv_bytes: kv_cache_total_bytes(model, s.req.final_context_len()),
+        })
+        .collect();
+    let total_generated: u64 = traces.iter().map(|t| t.generated_tokens as u64).sum();
+    let mut latencies: Vec<f64> = traces.iter().map(ServeTrace::total_latency_ms).collect();
+    latencies.sort_by(f64::total_cmp);
+    let tokens_per_sec = if now > 0.0 { total_generated as f64 / (now / 1e3) } else { 0.0 };
+    Ok(ServeReport {
+        policy: config.policy,
+        kv_budget_bytes: config.kv_budget_bytes,
+        max_batch: config.max_batch,
+        requests: n,
+        total_generated_tokens: total_generated,
+        ticks: tick,
+        makespan_ms: now,
+        tokens_per_sec,
+        p50_latency_ms: percentile(&latencies, 0.5),
+        p95_latency_ms: percentile(&latencies, 0.95),
+        peak_kv_bytes: peak_kv,
+        total_evictions,
+        ledger,
+        traces,
+    })
+}
+
+impl MeadowEngine {
+    /// Serves an arrival trace on this engine — see [`serve`].
+    ///
+    /// # Errors
+    ///
+    /// See [`serve`].
+    pub fn serve(
+        &self,
+        trace: &ArrivalTrace,
+        config: &ServeConfig,
+    ) -> Result<ServeReport, CoreError> {
+        serve(self, trace, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use meadow_models::presets;
+
+    fn engine() -> MeadowEngine {
+        MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap()
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let report = serve(&engine(), &ArrivalTrace::default(), &ServeConfig::default()).unwrap();
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.total_generated_tokens, 0);
+        assert_eq!(report.ticks, 0);
+        assert_eq!(report.makespan_ms, 0.0);
+        assert_eq!(report.tokens_per_sec, 0.0);
+        assert!(report.traces.is_empty());
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let trace = ArrivalTrace::uniform(1, 0.0, 16, 8);
+        let report = serve(&engine(), &trace, &ServeConfig::default()).unwrap();
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.total_generated_tokens, 8);
+        assert_eq!(report.total_evictions, 0);
+        let t = &report.traces[0];
+        assert_eq!(t.generated_tokens, 8);
+        assert_eq!(t.tbt_ms.len(), 8);
+        assert_eq!(t.queue_wait_ms, 0.0);
+        assert!(t.first_token_ms > 0.0);
+        assert!(t.finish_ms > t.first_token_ms);
+        assert!(report.makespan_ms >= t.finish_ms);
+        assert_eq!(t.final_kv_bytes, kv_cache_total_bytes(&presets::tiny_decoder(), 24));
+        // One session alone: 1 prefill tick + 8 decode ticks.
+        assert_eq!(report.ticks, 9);
+    }
+
+    #[test]
+    fn batched_run_is_cheaper_than_sequential_makespan() {
+        let trace = ArrivalTrace::uniform(4, 0.0, 16, 4);
+        let report = serve(&engine(), &trace, &ServeConfig::default()).unwrap();
+        let sequential: f64 =
+            report.traces.iter().map(|t| t.prefill_ms + t.tbt_ms.iter().sum::<f64>()).sum();
+        assert!(
+            report.makespan_ms < sequential,
+            "pipelined {} !< sequential {}",
+            report.makespan_ms,
+            sequential
+        );
+        // But no faster than the slowest single chain.
+        assert!(report.makespan_ms > report.traces[0].prefill_ms);
+    }
+
+    #[test]
+    fn constrained_budget_evicts_but_completes() {
+        let model = presets::tiny_decoder();
+        let trace = ArrivalTrace::uniform(4, 0.0, 16, 8);
+        // Room for roughly two peak sessions: forces contention.
+        let budget = 2 * ServeRequest::new(0, 0.0, 16, 8).peak_kv_bytes(&model);
+        let config = ServeConfig::default().with_budget(budget);
+        let report = serve(&engine(), &trace, &config).unwrap();
+        assert_eq!(report.total_generated_tokens, 4 * 8);
+        assert!(report.total_evictions > 0, "budget {budget} should force evictions");
+        assert!(report.peak_kv_bytes <= budget);
+        assert!(report.ledger.bytes(TrafficClass::KvCache) > 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let e = engine();
+        let trace = ArrivalTrace::uniform(2, 0.0, 16, 8);
+        assert!(serve(&e, &trace, &ServeConfig::default().with_max_batch(0)).is_err());
+        // Budget smaller than a single request's peak KV can never serve it.
+        assert!(serve(&e, &trace, &ServeConfig::default().with_budget(1)).is_err());
+        let dup = ArrivalTrace::new(vec![
+            ServeRequest::new(7, 0.0, 8, 2),
+            ServeRequest::new(7, 0.0, 8, 2),
+        ]);
+        assert!(serve(&e, &dup, &ServeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn staggered_arrivals_wait_in_order() {
+        let trace = ArrivalTrace::new(vec![
+            ServeRequest::new(0, 0.0, 16, 2),
+            ServeRequest::new(1, 1e6, 16, 2),
+        ]);
+        let report = serve(&engine(), &trace, &ServeConfig::default()).unwrap();
+        let late = report.trace(1).unwrap();
+        // The late request arrives after the first finished: no queueing.
+        assert_eq!(late.queue_wait_ms, 0.0);
+        assert!(late.first_token_ms >= 1e6);
+        assert!(report.trace(0).unwrap().finish_ms < 1e6);
+    }
+
+    #[test]
+    fn max_batch_cap_still_serves_everyone() {
+        let trace = ArrivalTrace::uniform(5, 0.0, 8, 3);
+        let capped = ServeConfig::default().with_max_batch(2);
+        let report = serve(&engine(), &trace, &capped).unwrap();
+        assert_eq!(report.total_generated_tokens, 15);
+        assert!(report.ticks > 5, "a cap of 2 needs more ticks than uncapped");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let trace = ArrivalTrace::uniform(2, 0.5, 8, 2);
+        let config = ServeConfig::default().with_budget(1 << 20).with_policy(KvPolicy::Lru);
+        let report = serve(&engine(), &trace, &config).unwrap();
+        let json = report.to_json().unwrap();
+        let parsed: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.5), 3.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.95), 4.0);
+    }
+}

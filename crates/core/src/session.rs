@@ -42,7 +42,17 @@ impl SessionTrace {
 
     /// Whether per-token latency is non-decreasing (it must be: the KV cache
     /// only grows).
+    ///
+    /// Traces with fewer than two tokens are vacuously monotone; any NaN
+    /// entry makes the trace non-monotone (NaN would otherwise slip through
+    /// the pairwise comparison when it sits in the first window slot).
     pub fn tbt_is_monotone(&self) -> bool {
+        if self.tbt_ms.iter().any(|t| t.is_nan()) {
+            return false;
+        }
+        if self.tbt_ms.len() < 2 {
+            return true;
+        }
         self.tbt_ms.windows(2).all(|w| w[1] >= w[0] - 1e-9)
     }
 }
@@ -177,5 +187,27 @@ mod tests {
         assert!(trace.tbt_ms.is_empty());
         assert_eq!(trace.decode_tokens_per_sec(), 0.0);
         assert!(trace.tbt_is_monotone());
+    }
+
+    #[test]
+    fn tbt_monotone_edge_cases() {
+        let trace = |tbt_ms: Vec<f64>| SessionTrace {
+            prompt_tokens: 4,
+            ttft_ms: 1.0,
+            tbt_ms,
+            final_kv_bytes: 0,
+        };
+        // Empty and single-token traces are vacuously monotone.
+        assert!(trace(vec![]).tbt_is_monotone());
+        assert!(trace(vec![2.5]).tbt_is_monotone());
+        assert!(trace(vec![f64::INFINITY]).tbt_is_monotone());
+        // Ordinary cases, including the 1e-9 jitter tolerance.
+        assert!(trace(vec![1.0, 1.0, 2.0]).tbt_is_monotone());
+        assert!(trace(vec![1.0, 1.0 - 1e-12]).tbt_is_monotone());
+        assert!(!trace(vec![2.0, 1.0]).tbt_is_monotone());
+        // NaN anywhere poisons the trace, wherever it sits in the windows.
+        assert!(!trace(vec![f64::NAN]).tbt_is_monotone());
+        assert!(!trace(vec![1.0, f64::NAN]).tbt_is_monotone());
+        assert!(!trace(vec![f64::NAN, 1.0, 2.0]).tbt_is_monotone());
     }
 }

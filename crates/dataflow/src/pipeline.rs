@@ -39,17 +39,35 @@ pub fn flow_shop_makespan(stage_times: &[Cycles], items: usize) -> Cycles {
 /// Panics if rows have inconsistent stage counts (caller constructs the
 /// matrix).
 pub fn flow_shop_schedule(times: &[Vec<Cycles>]) -> Cycles {
+    flow_shop_completion_times(times).last().copied().unwrap_or(Cycles::ZERO)
+}
+
+/// Per-item completion times of the blocking flow shop of
+/// [`flow_shop_schedule`]: entry `i` is when item `i` leaves the last stage.
+///
+/// Items traverse the stages in order, so completion times are
+/// non-decreasing and the last entry is the makespan. The serving simulator
+/// uses this to give each request in a continuous-batching macro-step its
+/// own first-token / finish timestamp (stages = decoder layers, items =
+/// per-session steps) instead of charging the whole batch makespan to every
+/// request.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent stage counts (caller constructs the
+/// matrix).
+pub fn flow_shop_completion_times(times: &[Vec<Cycles>]) -> Vec<Cycles> {
     let items = times.len();
     if items == 0 {
-        return Cycles::ZERO;
+        return Vec::new();
     }
     let stages = times[0].len();
     if stages == 0 {
-        return Cycles::ZERO;
+        return vec![Cycles::ZERO; items];
     }
     // depart[s] = time the most recent item left stage s (stage free again).
     let mut depart = vec![Cycles::ZERO; stages + 1];
-    let mut last_finish = Cycles::ZERO;
+    let mut finishes = Vec::with_capacity(items);
     for item in times {
         assert_eq!(item.len(), stages, "ragged stage-time matrix");
         // enter[s]: when this item starts service at stage s.
@@ -60,18 +78,18 @@ pub fn flow_shop_schedule(times: &[Vec<Cycles>]) -> Cycles {
             let service_done = start + dur;
             // With a capacity-1 output buffer, the item occupies the stage
             // until the next stage has accepted the previous item, i.e. the
-            // stage frees at max(service_done, depart[s+1]).
+            // stage frees at max(service_done, depart[s + 1]).
             let leave = service_done.max(depart[s + 1]);
             depart[s] = leave;
             ready = service_done.max(depart[s + 1]);
             if s == stages - 1 {
                 depart[s] = service_done;
                 ready = service_done;
-                last_finish = service_done;
+                finishes.push(service_done);
             }
         }
     }
-    last_finish
+    finishes
 }
 
 /// Evaluates many independent flow-shop instances on the worker threads of
@@ -146,6 +164,21 @@ mod tests {
         assert_eq!(flow_shop_makespan(&[Cycles(5)], 0), Cycles::ZERO);
         assert_eq!(flow_shop_schedule(&[]), Cycles::ZERO);
         assert_eq!(flow_shop_schedule(&[vec![]]), Cycles::ZERO);
+        assert!(flow_shop_completion_times(&[]).is_empty());
+        assert_eq!(flow_shop_completion_times(&[vec![], vec![]]), vec![Cycles::ZERO; 2]);
+    }
+
+    #[test]
+    fn completion_times_are_monotone_and_end_at_the_makespan() {
+        let matrix: Vec<Vec<Cycles>> =
+            (0..7).map(|i| vec![Cycles(3 + i % 4), Cycles(9 - i), Cycles(2 + i)]).collect();
+        let finishes = flow_shop_completion_times(&matrix);
+        assert_eq!(finishes.len(), 7);
+        assert!(finishes.windows(2).all(|w| w[0] <= w[1]), "{finishes:?}");
+        assert_eq!(*finishes.last().unwrap(), flow_shop_schedule(&matrix));
+        // Single item: completion is the sum of its stage times.
+        let single = flow_shop_completion_times(&[vec![Cycles(5), Cycles(7), Cycles(2)]]);
+        assert_eq!(single, vec![Cycles(14)]);
     }
 
     #[test]

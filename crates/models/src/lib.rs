@@ -32,4 +32,4 @@ pub mod workload;
 pub use config::{MatrixKind, ModelKind, TransformerConfig};
 pub use error::ModelError;
 pub use synthetic::RedundancyProfile;
-pub use workload::{DecodeWorkload, PrefillWorkload};
+pub use workload::{ArrivalTrace, DecodeWorkload, PrefillWorkload, ServeRequest};

@@ -98,6 +98,130 @@ pub fn kv_cache_total_bytes(config: &TransformerConfig, context_len: usize) -> u
     kv_cache_layer_bytes(config, context_len) * config.layers as u64
 }
 
+/// One generation request in a multi-session serving trace: it arrives at
+/// `arrival_ms`, carries a prompt and asks for a fixed number of generated
+/// tokens (a closed-loop benchmark request, not an open-ended chat).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Caller-chosen request identifier (unique within a trace).
+    pub id: u32,
+    /// Arrival time on the serving clock, in ms.
+    pub arrival_ms: f64,
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Tokens to generate after prefill (at least 1).
+    pub generate_tokens: usize,
+}
+
+impl ServeRequest {
+    /// Creates a request.
+    pub fn new(id: u32, arrival_ms: f64, prompt_tokens: usize, generate_tokens: usize) -> Self {
+        Self { id, arrival_ms, prompt_tokens, generate_tokens }
+    }
+
+    /// Context length after the last generated token (prompt + generated);
+    /// the request's KV cache peaks at this length.
+    pub fn final_context_len(&self) -> usize {
+        self.prompt_tokens + self.generate_tokens
+    }
+
+    /// Peak KV-cache bytes this request will hold on `config`.
+    pub fn peak_kv_bytes(&self, config: &TransformerConfig) -> u64 {
+        kv_cache_total_bytes(config, self.final_context_len())
+    }
+
+    /// Validates the request against a model configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for a non-finite or negative
+    /// arrival time, zero generated tokens, or a prompt/context that the
+    /// prefill and decode workload constructors reject.
+    pub fn validate(&self, config: &TransformerConfig) -> Result<(), ModelError> {
+        if !self.arrival_ms.is_finite() || self.arrival_ms < 0.0 {
+            return Err(ModelError::InvalidConfig {
+                param: "arrival_ms",
+                reason: format!("must be finite and non-negative, got {}", self.arrival_ms),
+            });
+        }
+        if self.generate_tokens == 0 {
+            return Err(ModelError::InvalidConfig {
+                param: "generate_tokens",
+                reason: "must generate at least one token".into(),
+            });
+        }
+        PrefillWorkload::new(config, self.prompt_tokens)?;
+        // Validates the deepest decode step (kind, context vs max_seq).
+        DecodeWorkload::new(config, self.prompt_tokens, self.generate_tokens)?;
+        Ok(())
+    }
+}
+
+/// An ordered set of [`ServeRequest`]s — the input to the serving simulator.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    /// The requests, in caller order (the simulator sorts by arrival time).
+    pub requests: Vec<ServeRequest>,
+}
+
+impl ArrivalTrace {
+    /// Wraps an explicit request list.
+    pub fn new(requests: Vec<ServeRequest>) -> Self {
+        Self { requests }
+    }
+
+    /// A deterministic open-loop trace: `n` requests with ids `0..n`,
+    /// arriving every `spacing_ms`, all with the same prompt/generation
+    /// lengths.
+    pub fn uniform(
+        n: usize,
+        spacing_ms: f64,
+        prompt_tokens: usize,
+        generate_tokens: usize,
+    ) -> Self {
+        Self {
+            requests: (0..n)
+                .map(|i| {
+                    ServeRequest::new(
+                        i as u32,
+                        i as f64 * spacing_ms,
+                        prompt_tokens,
+                        generate_tokens,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Validates every request and checks id uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for duplicate ids and
+    /// propagates per-request validation errors.
+    pub fn validate(&self, config: &TransformerConfig) -> Result<(), ModelError> {
+        let mut ids: Vec<u32> = self.requests.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ModelError::InvalidConfig {
+                param: "requests",
+                reason: "request ids must be unique within a trace".into(),
+            });
+        }
+        for r in &self.requests {
+            r.validate(config)?;
+        }
+        Ok(())
+    }
+
+    /// Sum of peak KV-cache bytes over all requests: the budget at which no
+    /// eviction can ever be needed even if every session is resident at its
+    /// deepest context simultaneously.
+    pub fn total_peak_kv_bytes(&self, config: &TransformerConfig) -> u64 {
+        self.requests.iter().map(|r| r.peak_kv_bytes(config)).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +260,45 @@ mod tests {
         // 2 × 512 × 768 = 768 KiB per layer.
         assert_eq!(kv_cache_layer_bytes(&c, 512), 2 * 512 * 768);
         assert_eq!(kv_cache_total_bytes(&c, 512), 12 * 2 * 512 * 768);
+    }
+
+    #[test]
+    fn serve_request_validation() {
+        let c = presets::tiny_decoder();
+        assert!(ServeRequest::new(0, 0.0, 16, 8).validate(&c).is_ok());
+        assert!(ServeRequest::new(0, -1.0, 16, 8).validate(&c).is_err());
+        assert!(ServeRequest::new(0, f64::NAN, 16, 8).validate(&c).is_err());
+        assert!(ServeRequest::new(0, 0.0, 0, 8).validate(&c).is_err());
+        assert!(ServeRequest::new(0, 0.0, 16, 0).validate(&c).is_err());
+        // max_seq = 64: a 60-token prompt supports 5 generated tokens
+        // (context 64 on the last step) but not 6.
+        assert!(ServeRequest::new(0, 0.0, 60, 5).validate(&c).is_ok());
+        assert!(ServeRequest::new(0, 0.0, 60, 6).validate(&c).is_err());
+        // Vision transformers have no decode stage to serve.
+        assert!(ServeRequest::new(0, 0.0, 5, 1).validate(&presets::tiny_vit()).is_err());
+    }
+
+    #[test]
+    fn serve_request_kv_arithmetic() {
+        let c = presets::tiny_decoder();
+        let r = ServeRequest::new(3, 1.5, 16, 8);
+        assert_eq!(r.final_context_len(), 24);
+        assert_eq!(r.peak_kv_bytes(&c), kv_cache_total_bytes(&c, 24));
+    }
+
+    #[test]
+    fn arrival_trace_uniform_and_validation() {
+        let c = presets::tiny_decoder();
+        let trace = ArrivalTrace::uniform(4, 2.5, 16, 8);
+        assert_eq!(trace.requests.len(), 4);
+        assert_eq!(trace.requests[3].id, 3);
+        assert_eq!(trace.requests[3].arrival_ms, 7.5);
+        trace.validate(&c).unwrap();
+        assert_eq!(trace.total_peak_kv_bytes(&c), 4 * kv_cache_total_bytes(&c, 24));
+        let dup = ArrivalTrace::new(vec![
+            ServeRequest::new(1, 0.0, 8, 2),
+            ServeRequest::new(1, 1.0, 8, 2),
+        ]);
+        assert!(dup.validate(&c).is_err());
     }
 }

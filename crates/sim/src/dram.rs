@@ -33,6 +33,11 @@ pub enum TrafficClass {
     OutputStore,
     /// KV-cache writes.
     KvStore,
+    /// Serving-level KV-cache residency migration: spilling an evicted
+    /// session's cache off chip and reloading it on re-admission. Counted as
+    /// store-side traffic (spill-dominated); distinct from the per-step
+    /// [`TrafficClass::KvFetch`]/[`TrafficClass::KvStore`] attention traffic.
+    KvCache,
 }
 
 impl TrafficClass {
@@ -53,7 +58,7 @@ impl TrafficClass {
     }
 
     /// All classes, for iteration in reports.
-    pub fn all() -> [TrafficClass; 7] {
+    pub fn all() -> [TrafficClass; 8] {
         [
             TrafficClass::WeightFetch,
             TrafficClass::InputFetch,
@@ -62,6 +67,7 @@ impl TrafficClass {
             TrafficClass::IntermediateStore,
             TrafficClass::OutputStore,
             TrafficClass::KvStore,
+            TrafficClass::KvCache,
         ]
     }
 }
@@ -299,5 +305,16 @@ mod tests {
         for c in TrafficClass::all() {
             assert!(c.is_fetch() ^ c.is_store());
         }
+        assert_eq!(TrafficClass::all().len(), 8);
+    }
+
+    #[test]
+    fn kv_cache_migration_is_store_side() {
+        let mut d = dram(6.0);
+        d.transfer(TrafficClass::KvCache, 4096);
+        assert!(TrafficClass::KvCache.is_store());
+        assert_eq!(d.ledger().bytes(TrafficClass::KvCache), 4096);
+        assert_eq!(d.ledger().store_bytes(), 4096);
+        assert_eq!(d.ledger().fetch_bytes(), 0);
     }
 }

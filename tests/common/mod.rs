@@ -1,0 +1,32 @@
+//! Helpers shared by the serving test suites.
+
+use meadow::models::workload::{ArrivalTrace, ServeRequest};
+
+/// A deterministic but varied request set derived from a seed: `n` requests
+/// with ragged prompt/generation lengths (xorshift-sampled below the given
+/// bounds) and arrivals staggered by multiples of `arrival_step_ms`.
+pub fn requests_from_seed(
+    seed: u64,
+    n: usize,
+    prompt_bound: u64,
+    generate_bound: u64,
+    arrival_step_ms: f64,
+) -> ArrivalTrace {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move |bound: u64| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % bound
+    };
+    ArrivalTrace::new(
+        (0..n)
+            .map(|i| {
+                let prompt = 1 + next(prompt_bound) as usize;
+                let generate = 1 + next(generate_bound) as usize;
+                let arrival = next(40) as f64 * arrival_step_ms;
+                ServeRequest::new(i as u32, arrival, prompt, generate)
+            })
+            .collect(),
+    )
+}

@@ -3,6 +3,12 @@
 //! counts 1/2/4/8 and ragged shapes. This is the contract that lets the
 //! perfbench numbers stand in for the serial reference.
 
+mod common;
+
+use common::requests_from_seed;
+use meadow::core::serve::{serve, KvPolicy, ServeConfig};
+use meadow::core::{EngineConfig, MeadowEngine};
+use meadow::models::presets;
 use meadow::packing::chunk::{decompose, decompose_with, ChunkConfig};
 use meadow::packing::stats::{IdHistogram, PrecisionDistribution};
 use meadow::packing::{PackedWeights, PackingConfig, PackingLevel};
@@ -114,6 +120,50 @@ proptest! {
                 .expect("packable");
             prop_assert_eq!(&packed, &serial_packed, "packed stream, {} threads", threads);
             prop_assert_eq!(packed.unpack().expect("round trip"), w.clone());
+        }
+    }
+
+    /// The serving simulator fans per-step measurements out on the engine's
+    /// worker pool; the resulting `ServeReport` (including its serialized
+    /// bytes, which the golden test pins) must be bit-identical across
+    /// thread counts.
+    #[test]
+    fn serve_report_is_bit_identical_across_threads(
+        seed in 0u64..500,
+        n in 1usize..5,
+        constrained in any::<bool>(),
+        lru in any::<bool>(),
+    ) {
+        let model = presets::tiny_decoder();
+        // Arrivals staggered at tick scale (tens of µs on the tiny model)
+        // so the batched path is genuinely exercised.
+        let trace = requests_from_seed(seed, n, 20, 6, 0.01);
+        let mut config = ServeConfig::default()
+            .with_policy(if lru { KvPolicy::Lru } else { KvPolicy::Fifo });
+        if constrained {
+            let single_max =
+                trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap();
+            config = config.with_budget(single_max).with_max_batch(2);
+        }
+        let reference = serve(
+            &MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).unwrap(),
+            &trace,
+            &config,
+        )
+        .unwrap();
+        for threads in THREAD_COUNTS {
+            let engine = MeadowEngine::new(
+                EngineConfig::zcu102(model.clone(), 12.0)
+                    .with_exec(ExecConfig::with_threads(threads)),
+            )
+            .unwrap();
+            let report = serve(&engine, &trace, &config).unwrap();
+            prop_assert_eq!(&report, &reference, "threads {}", threads);
+            prop_assert_eq!(
+                report.to_json().expect("serializable"),
+                reference.to_json().expect("serializable"),
+                "serialized bytes, threads {}", threads
+            );
         }
     }
 

@@ -1,0 +1,68 @@
+//! Golden-trace test: a fixed 8-request arrival trace on the ZCU102 config
+//! must produce a byte-stable `ServeReport`, so scheduler refactors cannot
+//! silently change serving numbers.
+//!
+//! The whole pipeline is deterministic integer-cycle arithmetic converted
+//! to f64 at fixed points, and the vendored serde_json prints floats with
+//! Rust's shortest round-trip formatting — so the serialized report is
+//! stable down to the byte. To refresh the snapshot after an *intentional*
+//! change:
+//!
+//! ```sh
+//! MEADOW_UPDATE_GOLDEN=1 cargo test --test serve_golden
+//! ```
+
+use meadow::core::serve::{serve, KvPolicy, ServeConfig};
+use meadow::core::{EngineConfig, MeadowEngine};
+use meadow::models::presets;
+use meadow::models::workload::{ArrivalTrace, ServeRequest};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_zcu102.json")
+}
+
+/// The pinned scenario: 8 staggered requests with ragged prompt/generation
+/// lengths, a budget sized to force evictions, and a batch cap so the
+/// scheduler exercises idle-resident sessions.
+fn golden_report() -> String {
+    let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
+    // Arrival spacing is on the scale of a tick (tens of µs on the tiny
+    // model) so sessions genuinely overlap.
+    let trace = ArrivalTrace::new(vec![
+        ServeRequest::new(0, 0.0, 16, 8),
+        ServeRequest::new(1, 0.0, 24, 4),
+        ServeRequest::new(2, 0.01, 8, 6),
+        ServeRequest::new(3, 0.015, 31, 2),
+        ServeRequest::new(4, 0.02, 4, 8),
+        ServeRequest::new(5, 0.03, 12, 5),
+        ServeRequest::new(6, 0.05, 20, 3),
+        ServeRequest::new(7, 0.08, 6, 7),
+    ]);
+    let model = presets::tiny_decoder();
+    // Room for ~2 peak sessions: admission, eviction and reload all fire.
+    let budget = 2 * ServeRequest::new(0, 0.0, 31, 2).peak_kv_bytes(&model);
+    let config =
+        ServeConfig::default().with_budget(budget).with_policy(KvPolicy::Fifo).with_max_batch(4);
+    let report = serve(&engine, &trace, &config).unwrap();
+    assert!(report.total_evictions > 0, "the golden scenario must exercise eviction");
+    report.to_json().unwrap() + "\n"
+}
+
+#[test]
+fn serve_report_is_byte_stable() {
+    let got = golden_report();
+    let path = golden_path();
+    if std::env::var_os("MEADOW_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "ServeReport diverged from the committed snapshot; if the change is \
+         intentional, regenerate with MEADOW_UPDATE_GOLDEN=1 cargo test --test serve_golden"
+    );
+}

@@ -1,0 +1,172 @@
+//! Property suite for the multi-session serving simulator: conservation,
+//! KV-budget safety, eviction accounting and the solo-equivalence contract
+//! (an unbounded budget reproduces exactly the per-token latencies of
+//! independent `InferenceSession`s).
+
+mod common;
+
+use common::requests_from_seed as seeded;
+use meadow::core::serve::{serve, KvPolicy, ServeConfig};
+use meadow::core::session::InferenceSession;
+use meadow::core::{EngineConfig, MeadowEngine};
+use meadow::models::presets;
+use meadow::models::workload::{ArrivalTrace, ServeRequest};
+use meadow::sim::TrafficClass;
+use proptest::prelude::*;
+
+fn engine() -> MeadowEngine {
+    MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap()
+}
+
+/// Up to 5 requests with ragged prompts/generation lengths and staggered
+/// arrivals.
+fn requests_from_seed(seed: u64, n: usize) -> ArrivalTrace {
+    seeded(seed, n, 24, 8, 0.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every request finishes exactly once with exactly the
+    /// requested number of tokens, under any policy and a safe budget.
+    #[test]
+    fn tokens_are_conserved(seed in 0u64..1000, n in 1usize..6, lru in any::<bool>()) {
+        let model = presets::tiny_decoder();
+        let trace = requests_from_seed(seed, n);
+        // A budget between "largest single request" and "everything at
+        // once" exercises admission without making any request unservable.
+        let single_max =
+            trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap();
+        let budget = single_max + (trace.total_peak_kv_bytes(&model) - single_max) / 2;
+        let policy = if lru { KvPolicy::Lru } else { KvPolicy::Fifo };
+        let config = ServeConfig::default().with_budget(budget).with_policy(policy);
+        let report = serve(&engine(), &trace, &config).unwrap();
+        prop_assert_eq!(report.requests, n);
+        prop_assert_eq!(report.traces.len(), n);
+        for (req, t) in trace.requests.iter().zip(&report.traces) {
+            prop_assert_eq!(t.id, req.id);
+            prop_assert_eq!(t.generated_tokens, req.generate_tokens);
+            prop_assert_eq!(t.tbt_ms.len(), req.generate_tokens);
+            prop_assert!(t.finish_ms >= t.first_token_ms);
+            prop_assert!(t.first_token_ms >= req.arrival_ms);
+            prop_assert!(t.queue_wait_ms >= 0.0);
+        }
+        let total: u64 = trace.requests.iter().map(|r| r.generate_tokens as u64).sum();
+        prop_assert_eq!(report.total_generated_tokens, total);
+    }
+
+    /// The KV budget is never exceeded at any step (the report's peak is
+    /// the max over every tick's residency).
+    #[test]
+    fn kv_budget_is_never_exceeded(seed in 0u64..1000, n in 1usize..6) {
+        let model = presets::tiny_decoder();
+        let trace = requests_from_seed(seed, n);
+        let single_max =
+            trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap();
+        let config = ServeConfig::default().with_budget(single_max);
+        let report = serve(&engine(), &trace, &config).unwrap();
+        prop_assert!(
+            report.peak_kv_bytes <= single_max,
+            "peak {} exceeds budget {}",
+            report.peak_kv_bytes,
+            single_max
+        );
+    }
+
+    /// No eviction can occur when the budget fits every session's peak
+    /// simultaneously, and the KvCache migration ledger stays empty.
+    #[test]
+    fn fitting_budget_never_evicts(seed in 0u64..1000, n in 1usize..6) {
+        let model = presets::tiny_decoder();
+        let trace = requests_from_seed(seed, n);
+        let config =
+            ServeConfig::default().with_budget(trace.total_peak_kv_bytes(&model));
+        let report = serve(&engine(), &trace, &config).unwrap();
+        prop_assert_eq!(report.total_evictions, 0);
+        prop_assert_eq!(report.ledger.bytes(TrafficClass::KvCache), 0);
+        prop_assert!(report.traces.iter().all(|t| t.evictions == 0));
+    }
+
+    /// FIFO and LRU are policies over *placement*, not *work*: both must
+    /// serve every request to completion with identical token counts.
+    #[test]
+    fn fifo_and_lru_generate_identical_token_counts(seed in 0u64..1000, n in 2usize..6) {
+        let model = presets::tiny_decoder();
+        let trace = requests_from_seed(seed, n);
+        let single_max =
+            trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap();
+        let base = ServeConfig::default().with_budget(single_max).with_max_batch(2);
+        let e = engine();
+        let fifo = serve(&e, &trace, &base.with_policy(KvPolicy::Fifo)).unwrap();
+        let lru = serve(&e, &trace, &base.with_policy(KvPolicy::Lru)).unwrap();
+        prop_assert_eq!(fifo.total_generated_tokens, lru.total_generated_tokens);
+        for (f, l) in fifo.traces.iter().zip(&lru.traces) {
+            prop_assert_eq!(f.generated_tokens, l.generated_tokens);
+        }
+    }
+}
+
+/// Acceptance criterion: a budget smaller than total demand completes all
+/// requests with at least one eviction.
+#[test]
+fn constrained_budget_completes_with_evictions() {
+    let model = presets::tiny_decoder();
+    let trace = ArrivalTrace::uniform(4, 0.0, 16, 8);
+    let single = ServeRequest::new(0, 0.0, 16, 8).peak_kv_bytes(&model);
+    assert!(2 * single < trace.total_peak_kv_bytes(&model));
+    for policy in [KvPolicy::Fifo, KvPolicy::Lru] {
+        let config = ServeConfig::default().with_budget(2 * single).with_policy(policy);
+        let report = serve(&engine(), &trace, &config).unwrap();
+        assert_eq!(report.total_generated_tokens, 32, "{policy:?}");
+        assert!(report.total_evictions > 0, "{policy:?} must evict under pressure");
+        assert!(report.peak_kv_bytes <= 2 * single);
+        assert!(report.ledger.bytes(TrafficClass::KvCache) > 0);
+    }
+}
+
+/// Acceptance criterion: with an unbounded budget, every request's prefill
+/// and per-token service latencies are bit-identical to an independent
+/// `InferenceSession` walking the same request on the same engine.
+#[test]
+fn unbounded_budget_matches_independent_sessions() {
+    let e = engine();
+    let trace = ArrivalTrace::new(vec![
+        ServeRequest::new(0, 0.0, 16, 8),
+        ServeRequest::new(1, 0.0, 7, 5),
+        ServeRequest::new(2, 2.0, 31, 3),
+        ServeRequest::new(3, 2.0, 1, 6),
+    ]);
+    let report = serve(&e, &trace, &ServeConfig::unbounded()).unwrap();
+    assert_eq!(report.total_evictions, 0);
+    for req in &trace.requests {
+        let mut solo = InferenceSession::start(&e, req.prompt_tokens).unwrap();
+        solo.generate(req.generate_tokens).unwrap();
+        let solo = solo.finish();
+        let served = report.trace(req.id).unwrap();
+        assert_eq!(served.prefill_ms, solo.ttft_ms, "request {} prefill", req.id);
+        assert_eq!(served.tbt_ms, solo.tbt_ms, "request {} TBT series", req.id);
+        assert_eq!(served.final_kv_bytes, solo.final_kv_bytes);
+    }
+}
+
+/// Under contention the evicted session pays a KV reload on its next step,
+/// so its TBT series dominates the solo series entry-for-entry.
+#[test]
+fn reload_penalties_only_ever_add_latency() {
+    let e = engine();
+    let model = presets::tiny_decoder();
+    let trace = ArrivalTrace::uniform(3, 0.0, 16, 8);
+    let single = ServeRequest::new(0, 0.0, 16, 8).peak_kv_bytes(&model);
+    let config = ServeConfig::default().with_budget(single + single / 2);
+    let report = serve(&e, &trace, &config).unwrap();
+    assert!(report.total_evictions > 0);
+    for req in &trace.requests {
+        let mut solo = InferenceSession::start(&e, req.prompt_tokens).unwrap();
+        solo.generate(req.generate_tokens).unwrap();
+        let solo = solo.finish();
+        let served = report.trace(req.id).unwrap();
+        for (k, (s, ref_ms)) in served.tbt_ms.iter().zip(&solo.tbt_ms).enumerate() {
+            assert!(s >= ref_ms, "request {} token {k}: {s} < {ref_ms}", req.id);
+        }
+    }
+}
