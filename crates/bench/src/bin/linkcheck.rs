@@ -1,0 +1,45 @@
+//! Offline Markdown link checker — CI gate over `README.md` and `docs/`.
+//!
+//! ```text
+//! cargo run --release -p meadow-bench --bin linkcheck -- README.md docs
+//! ```
+//!
+//! Arguments are Markdown files or directories (scanned for `*.md`).
+//! Exits non-zero when any relative link or heading fragment fails to
+//! resolve; external URLs are not checked (no network in CI).
+
+use meadow_bench::linkcheck::check_paths;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("Usage: linkcheck <FILE|DIR>...");
+        println!();
+        println!("Checks relative Markdown links and #heading fragments offline.");
+        return ExitCode::SUCCESS;
+    }
+    let paths: Vec<PathBuf> = if args.is_empty() {
+        vec![PathBuf::from("README.md"), PathBuf::from("docs")]
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+    match check_paths(&paths) {
+        Ok(broken) if broken.is_empty() => {
+            println!("linkcheck: all relative links resolve ({} inputs)", paths.len());
+            ExitCode::SUCCESS
+        }
+        Ok(broken) => {
+            for b in &broken {
+                eprintln!("broken link: {b}");
+            }
+            eprintln!("linkcheck: {} broken link(s)", broken.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("linkcheck: cannot read inputs: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

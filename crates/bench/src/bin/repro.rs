@@ -40,6 +40,7 @@ const GENERATORS: &[(&str, Generator)] = &[
     ("fig13", figs_design::fig13),
     ("lossless", figs_packing::lossless),
     ("serve", figs_serve::serve_artifact),
+    ("serve_paged", figs_serve::serve_paged_artifact),
     ("ablation_chunk", ablations::ablation_chunk),
     ("ablation_payload", ablations::ablation_payload),
     ("ablation_parallelism", ablations::ablation_parallelism),

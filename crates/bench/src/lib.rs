@@ -11,6 +11,8 @@
 //! The [`perf`] module and its `perfbench` binary are the machine-readable
 //! performance surface: serial-vs-parallel timings of the hot paths as
 //! schema-versioned `BENCH_<id>.json`, with a regression gate used by CI.
+//! The [`linkcheck`] module and binary keep `README.md` and `docs/*.md`
+//! free of broken relative links (also a CI gate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@ pub mod figs_design;
 pub mod figs_latency;
 pub mod figs_packing;
 pub mod figs_serve;
+pub mod linkcheck;
 pub mod perf;
 
 pub use context::ReproContext;

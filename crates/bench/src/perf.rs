@@ -4,7 +4,8 @@
 //! exploration; this module is the *regression* surface. It times the
 //! workspace's hot paths — tiled INT8 GEMM, packing chunk decomposition,
 //! the functional batch forward, and the continuous-batching serving
-//! simulator — serial vs parallel, with warmup and a fixed number of
+//! simulator (whole-cache and paged eviction) — serial vs parallel, with
+//! warmup and a fixed number of
 //! trials, and reports median/p95/min/mean per variant as a
 //! schema-versioned [`BenchReport`] that serializes to `BENCH_<id>.json`.
 //!
@@ -16,7 +17,7 @@
 //! [`find_regressions`] gate remains available via `perfbench --gate
 //! absolute` for same-machine comparisons.
 
-use meadow_core::serve::{serve, ServeConfig};
+use meadow_core::serve::{serve, KvPolicy, ServeConfig};
 use meadow_core::{EngineConfig, MeadowEngine};
 use meadow_dataflow::forward::{batch_model_forward, model_forward, ForwardMode, ForwardScales};
 use meadow_models::presets;
@@ -247,6 +248,32 @@ fn serve_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     named_case(format!("serve_continuous_batch_{requests}x{generate}"), serial, parallel)
 }
 
+fn serve_paged_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (requests, generate) = if opts.quick { (4, 6) } else { (8, 12) };
+    let model = presets::tiny_decoder();
+    // Same squeezed scenario as `serve_continuous_batch`, but evicting at
+    // page granularity: the scheduler additionally walks the page pool
+    // (LRU scan, peel, fault-in), which is the overhead this case guards.
+    let trace = ArrivalTrace::uniform(requests, 0.01, 16, generate);
+    let budget = trace.total_peak_kv_bytes(&model) / 2;
+    let config = ServeConfig::default()
+        .with_budget(budget)
+        .with_policy(KvPolicy::PagedLru)
+        .with_page_bytes(256)
+        .with_max_batch(requests / 2);
+    let serial_engine =
+        MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).expect("valid engine");
+    let parallel_engine = MeadowEngine::new(EngineConfig::zcu102(model, 12.0).with_exec(*exec))
+        .expect("valid engine");
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(serve(&serial_engine, &trace, &config).expect("serve succeeds"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(serve(&parallel_engine, &trace, &config).expect("serve succeeds"));
+    });
+    named_case(format!("serve_paged_{requests}x{generate}"), serial, parallel)
+}
+
 fn named_case(name: String, serial: TimingStats, parallel: TimingStats) -> BenchCase {
     let speedup =
         if parallel.median_ms > 0.0 { serial.median_ms / parallel.median_ms } else { 0.0 };
@@ -261,6 +288,7 @@ pub fn run_suite(bench_id: &str, opts: &PerfOptions) -> BenchReport {
         packing_case(opts, &exec),
         forward_case(opts, &exec),
         serve_case(opts, &exec),
+        serve_paged_case(opts, &exec),
     ];
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -411,7 +439,7 @@ mod tests {
     fn suite_emits_versioned_round_trippable_json() {
         let report = run_suite("test", &quick_opts());
         assert_eq!(report.schema_version, SCHEMA_VERSION);
-        assert_eq!(report.cases.len(), 4);
+        assert_eq!(report.cases.len(), 5);
         assert!(report.cases.iter().all(|c| c.speedup > 0.0));
         assert_eq!(report.file_name(), "BENCH_test.json");
         let json = report.to_json().unwrap();
@@ -431,7 +459,7 @@ mod tests {
         assert_eq!(tree.get("threads").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(tree.get("quick").and_then(|v| v.as_bool()), Some(true));
         let cases = tree.get("cases").and_then(|v| v.as_seq()).unwrap();
-        assert_eq!(cases.len(), 4);
+        assert_eq!(cases.len(), 5);
         for case in cases {
             assert!(case.get("name").and_then(|v| v.as_str()).is_some());
             for variant in ["serial", "parallel"] {

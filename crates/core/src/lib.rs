@@ -13,7 +13,11 @@
 //!   (Fig. 12b).
 //! * [`serve`] — the multi-session serving simulator: continuous batching
 //!   of many requests on one engine under an explicit KV-cache memory
-//!   budget with FIFO/LRU eviction.
+//!   budget with FIFO/LRU whole-cache eviction or paged (vLLM-style)
+//!   eviction, plus SLO-aware admission.
+//! * [`kv_pages`] — the paged KV-cache allocator behind
+//!   [`serve::KvPolicy::PagedLru`]: fixed-size pages, a free list,
+//!   per-session page tables and page-LRU victim metadata.
 //! * [`vit`] — the DeiT vision-transformer inference path (Fig. 13).
 //! * [`accuracy`] — lossless-ness verification: bit-exact pack→unpack round
 //!   trips over whole model weight sets (the reproduction's stand-in for
@@ -27,6 +31,7 @@ pub mod accuracy;
 pub mod baselines;
 pub mod engine;
 pub mod error;
+pub mod kv_pages;
 pub mod planner;
 pub mod report;
 pub mod roofline;
@@ -36,4 +41,5 @@ pub mod vit;
 
 pub use engine::{EngineConfig, LatencyReport, MeadowEngine};
 pub use error::CoreError;
-pub use serve::{KvPolicy, ServeConfig, ServeReport, ServeTrace};
+pub use kv_pages::KvPageAllocator;
+pub use serve::{AdmissionPolicy, KvPolicy, ServeConfig, ServeReport, ServeTrace};

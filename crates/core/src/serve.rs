@@ -4,37 +4,75 @@
 //! at a time; a deployed edge accelerator instead serves many concurrent
 //! sessions contending for one KV-cache memory budget. This module runs an
 //! [`ArrivalTrace`] of requests through a single [`MeadowEngine`] under a
-//! continuous-batching scheduler:
+//! continuous-batching scheduler. Each tick:
 //!
 //! * **Admission** is head-of-line in arrival order: a request is admitted
 //!   only when its next step's KV cache fits alongside every resident
 //!   session's, against an explicit per-chip budget
 //!   ([`ServeConfig::kv_budget_bytes`], sized with
-//!   [`kv_cache_total_bytes`]).
-//! * **Eviction** frees residency when the growing caches of admitted
-//!   sessions overflow the budget, under a [`KvPolicy`] (FIFO by admission
-//!   recency or LRU by stepping recency). Spills and reloads are charged on
-//!   the engine's DRAM channel under
-//!   [`TrafficClass::KvCache`](meadow_sim::TrafficClass), on top of the
-//!   per-step attention traffic.
-//! * **Batching** interleaves prefill and decode steps: each scheduler tick
-//!   pipelines the batch through the model's layers like a flow shop
-//!   (stages = decoder layers, items = per-session steps, via
+//!   [`kv_cache_total_bytes`]). Under
+//!   [`AdmissionPolicy::RejectAfter`], requests that out-wait their TTFT
+//!   SLO are shed from the queue instead of queueing forever.
+//! * **Batching** interleaves prefill and decode steps: the tick pipelines
+//!   the batch through the model's layers like a flow shop (stages =
+//!   decoder layers, items = per-session steps, via
 //!   [`flow_shop_completion_times`]), so the tick costs far less than the
 //!   sum of its steps while every step is still measured with the exact
 //!   [`MeadowEngine::prefill_latency`]/[`MeadowEngine::decode_latency`]
 //!   machinery.
+//! * **Eviction** frees residency when the growing caches of admitted
+//!   sessions overflow the budget, under a [`KvPolicy`]:
+//!   [`KvPolicy::Fifo`]/[`KvPolicy::Lru`] spill a victim session's *whole*
+//!   cache, while [`KvPolicy::PagedLru`] peels fixed-size pages off the
+//!   stalest session one at a time (see
+//!   [`kv_pages`](crate::kv_pages)), moving only the bytes the tick
+//!   actually needs. Spills and reloads are charged on the engine's DRAM
+//!   channel per page under
+//!   [`TrafficClass::KvCache`](meadow_sim::TrafficClass), on top of the
+//!   per-step attention traffic.
 //!
 //! The output is a per-request [`ServeTrace`] (queue wait, TTFT, TBT
 //! series, evictions) and an aggregate [`ServeReport`] (p50/p95 latency,
-//! tokens/sec, peak KV residency, migration traffic). Both are
-//! deterministic — bit-identical across `MEADOW_THREADS` settings — and a
-//! run with an unbounded budget reproduces exactly the per-token service
-//! latencies of independent sessions (the `tests/serve_invariants.rs`
-//! contract).
+//! tokens/sec, peak KV residency, migration traffic, page-fault and
+//! rejection counts, fragmentation). Both are deterministic —
+//! bit-identical across `MEADOW_THREADS` settings — and a run with an
+//! unbounded budget reproduces exactly the per-token service latencies of
+//! independent sessions (the `tests/serve_invariants.rs` contract). With
+//! `page_bytes` at least as large as every session's peak cache,
+//! `PagedLru` degenerates to whole-cache `Lru` bit-exactly.
+//!
+//! # Examples
+//!
+//! Serve an open-loop Poisson trace under a paged KV budget with SLO-aware
+//! admission:
+//!
+//! ```
+//! use meadow_core::serve::{serve, AdmissionPolicy, KvPolicy, ServeConfig};
+//! use meadow_core::{EngineConfig, MeadowEngine};
+//! use meadow_models::presets;
+//! use meadow_models::workload::ArrivalTrace;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), meadow_core::CoreError> {
+//! let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0))?;
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let trace = ArrivalTrace::poisson(6, 2000.0, 16, 8, &mut rng)?;
+//! let config = ServeConfig::default()
+//!     .with_budget(2 * trace.requests[0].peak_kv_bytes(&presets::tiny_decoder()))
+//!     .with_policy(KvPolicy::PagedLru)
+//!     .with_page_bytes(1024)
+//!     .with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 50.0 });
+//! let report = serve(&engine, &trace, &config)?;
+//! assert_eq!(report.requests, 6);
+//! assert_eq!(report.total_generated_tokens + 8 * report.rejected_requests, 48);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::engine::{LatencyReport, MeadowEngine};
 use crate::error::CoreError;
+use crate::kv_pages::KvPageAllocator;
 use meadow_dataflow::pipeline::flow_shop_completion_times;
 use meadow_dataflow::LayerLatency;
 use meadow_models::workload::{kv_cache_total_bytes, ArrivalTrace, ServeRequest};
@@ -47,10 +85,31 @@ use std::collections::VecDeque;
 /// Eviction policy for the serving KV-cache pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum KvPolicy {
-    /// Evict the session (re)admitted longest ago.
+    /// Evict the session (re)admitted longest ago, spilling its whole cache.
     Fifo,
-    /// Evict the session stepped longest ago.
+    /// Evict the session stepped longest ago, spilling its whole cache.
     Lru,
+    /// Evict at page granularity: peel [`ServeConfig::page_bytes`]-sized
+    /// pages off the least recently stepped session until the tick fits,
+    /// instead of spilling whole caches (see [`crate::kv_pages`]).
+    PagedLru,
+}
+
+/// What happens to requests the budget cannot admit yet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Queue head-of-line until the budget has room (possibly forever on an
+    /// overloaded chip).
+    #[default]
+    Queue,
+    /// Shed load: a request still waiting for its *first* admission after
+    /// `ttft_slo_ms` on the serving clock is rejected — it can no longer
+    /// meet its time-to-first-token SLO, so the scheduler stops spending
+    /// budget on it. Already-admitted sessions are never shed.
+    RejectAfter {
+        /// TTFT service-level objective in milliseconds.
+        ttft_slo_ms: f64,
+    },
 }
 
 /// Configuration of one serving run.
@@ -65,15 +124,30 @@ pub struct ServeConfig {
     /// batch size). Admitted sessions beyond the cap stay resident but
     /// idle; the least recently stepped sessions are scheduled first.
     pub max_batch: usize,
+    /// Admission behavior for requests the budget keeps waiting.
+    pub admission: AdmissionPolicy,
+    /// Page size for [`KvPolicy::PagedLru`] spill/reload granularity, in
+    /// bytes (ignored by the whole-cache policies).
+    pub page_bytes: u64,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { kv_budget_bytes: None, policy: KvPolicy::Fifo, max_batch: usize::MAX }
+        Self {
+            kv_budget_bytes: None,
+            policy: KvPolicy::Fifo,
+            max_batch: usize::MAX,
+            admission: AdmissionPolicy::Queue,
+            page_bytes: Self::DEFAULT_PAGE_BYTES,
+        }
     }
 }
 
 impl ServeConfig {
+    /// Default [`ServeConfig::page_bytes`]: 16 KiB, a few decode steps'
+    /// worth of KV growth on an OPT-125M-class model.
+    pub const DEFAULT_PAGE_BYTES: u64 = 16 << 10;
+
     /// Unbounded KV budget (no eviction can occur).
     pub fn unbounded() -> Self {
         Self::default()
@@ -93,20 +167,35 @@ impl ServeConfig {
     pub fn with_max_batch(self, max_batch: usize) -> Self {
         Self { max_batch, ..self }
     }
+
+    /// The same configuration with a different admission policy.
+    pub fn with_admission(self, admission: AdmissionPolicy) -> Self {
+        Self { admission, ..self }
+    }
+
+    /// The same configuration with a different [`KvPolicy::PagedLru`] page
+    /// size.
+    pub fn with_page_bytes(self, page_bytes: u64) -> Self {
+        Self { page_bytes, ..self }
+    }
 }
 
-/// Serving-side record of one completed request.
+/// Serving-side record of one completed (or rejected) request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeTrace {
     /// Request identifier.
     pub id: u32,
     /// Prompt length.
     pub prompt_tokens: usize,
-    /// Tokens generated (always equals the requested count).
+    /// Tokens generated (the requested count, or zero when rejected).
     pub generated_tokens: usize,
     /// Arrival time on the serving clock, in ms.
     pub arrival_ms: f64,
-    /// Arrival → first admission, in ms.
+    /// Whether admission shed this request
+    /// ([`AdmissionPolicy::RejectAfter`]); a rejected trace generates no
+    /// tokens and its latency fields stay zero.
+    pub rejected: bool,
+    /// Arrival → first admission (or rejection), in ms.
     pub queue_wait_ms: f64,
     /// Own prefill service latency in ms — comparable to
     /// [`SessionTrace::ttft_ms`](crate::session::SessionTrace) and
@@ -119,9 +208,10 @@ pub struct ServeTrace {
     /// Own per-token service latency in ms, including KV reload penalties
     /// after eviction (index 0 = first generated token).
     pub tbt_ms: Vec<f64>,
-    /// Times this session's KV cache was evicted from the pool.
+    /// Times this session was evicted (demoted from the scheduled set;
+    /// under `PagedLru` its pages then spill lazily, page by page).
     pub evictions: u32,
-    /// KV-cache bytes at the end of generation.
+    /// KV-cache bytes at the end of generation (zero when rejected).
     pub final_kv_bytes: u64,
 }
 
@@ -143,13 +233,19 @@ impl ServeTrace {
 pub struct ServeReport {
     /// Eviction policy used.
     pub policy: KvPolicy,
+    /// Admission policy used.
+    pub admission: AdmissionPolicy,
     /// KV budget in bytes (`None` = unbounded).
     pub kv_budget_bytes: Option<u64>,
+    /// Page size configured for [`KvPolicy::PagedLru`].
+    pub page_bytes: u64,
     /// Batch-size cap used.
     pub max_batch: usize,
-    /// Number of requests served.
+    /// Number of requests in the trace (completed + rejected).
     pub requests: usize,
-    /// Total tokens generated across all requests.
+    /// Requests shed by [`AdmissionPolicy::RejectAfter`].
+    pub rejected_requests: u64,
+    /// Total tokens generated across all completed requests.
     pub total_generated_tokens: u64,
     /// Scheduler ticks executed.
     pub ticks: u64,
@@ -157,14 +253,28 @@ pub struct ServeReport {
     pub makespan_ms: f64,
     /// Generated-token throughput over the whole run.
     pub tokens_per_sec: f64,
-    /// Median request latency (arrival → last token), in ms.
+    /// Median completed-request latency (arrival → last token), in ms.
     pub p50_latency_ms: f64,
-    /// 95th-percentile request latency, in ms.
+    /// 95th-percentile completed-request latency, in ms.
     pub p95_latency_ms: f64,
     /// Peak simultaneous KV-cache residency in bytes.
     pub peak_kv_bytes: u64,
-    /// Total evictions across all sessions.
+    /// Total session evictions: how many times a session lost its
+    /// residency in the scheduled set. Under `PagedLru` the eviction is
+    /// counted at demotion — the pages themselves spill lazily afterwards
+    /// (possibly never, if the pressure passes), tracked separately in
+    /// [`ServeReport::total_page_spills`].
     pub total_evictions: u64,
+    /// Pages written out by `PagedLru` eviction (zero for the whole-cache
+    /// policies, which account whole spills under
+    /// [`ServeReport::total_evictions`]).
+    pub total_page_spills: u64,
+    /// Pages read back by `PagedLru` before a step could run.
+    pub total_page_faults: u64,
+    /// Peak internal fragmentation under `PagedLru`: bytes reserved in
+    /// partially filled tail pages that hold no KV data (zero for the
+    /// whole-cache policies).
+    pub kv_frag_peak_bytes: u64,
     /// DRAM traffic of the whole run: per-step fetch/compute/store classes
     /// plus serving-level [`TrafficClass::KvCache`] migration.
     pub ledger: TrafficLedger,
@@ -194,17 +304,27 @@ struct Session {
     req: ServeRequest,
     generated: usize,
     prefilled: bool,
+    rejected: bool,
     evictions: u32,
     /// Sequence number of the most recent (re)admission.
     admission_seq: u64,
     /// Tick of the most recent step (0 = never stepped).
     last_step_tick: u64,
-    /// Set at first admission.
+    /// Set at first admission (or at rejection).
     queue_wait_ms: Option<f64>,
-    /// KV bytes spilled at the last eviction, to reload on re-admission.
+    /// Whole-cache mode: KV bytes spilled at the last eviction, to reload
+    /// on re-admission.
     spilled_kv_bytes: u64,
-    /// KV bytes to reload before the next step.
+    /// Whole-cache mode: KV bytes to reload before the next step.
     pending_reload_bytes: u64,
+    /// Paged mode: logical KV bytes whose page frames are currently held
+    /// (residency the budget accounts; page-aligned except when fully
+    /// resident).
+    held_bytes: u64,
+    /// Paged mode: prefix of the KV data that is physically on chip
+    /// (`loaded <= held`; the `[loaded, kv)` suffix is off chip awaiting
+    /// reload).
+    loaded_bytes: u64,
     prefill_ms: f64,
     first_token_ms: f64,
     finish_ms: f64,
@@ -217,12 +337,15 @@ impl Session {
             req,
             generated: 0,
             prefilled: false,
+            rejected: false,
             evictions: 0,
             admission_seq: 0,
             last_step_tick: 0,
             queue_wait_ms: None,
             spilled_kv_bytes: 0,
             pending_reload_bytes: 0,
+            held_bytes: 0,
+            loaded_bytes: 0,
             prefill_ms: 0.0,
             first_token_ms: 0.0,
             finish_ms: 0.0,
@@ -230,14 +353,20 @@ impl Session {
         }
     }
 
-    /// KV bytes the session holds while resident (prompt + generated so
-    /// far; nothing before prefill).
-    fn resident_kv(&self, model: &TransformerConfig) -> u64 {
+    /// Logical KV bytes the session's processed tokens occupy (prompt +
+    /// generated so far; nothing before prefill).
+    fn kv_bytes(&self, model: &TransformerConfig) -> u64 {
         if self.prefilled {
             kv_cache_total_bytes(model, self.req.prompt_tokens + self.generated)
         } else {
             0
         }
+    }
+
+    /// KV bytes the session holds while resident, as the whole-cache
+    /// policies account them.
+    fn resident_kv(&self, model: &TransformerConfig) -> u64 {
+        self.kv_bytes(model)
     }
 
     /// KV bytes the session will hold after its next step (prefill writes
@@ -253,7 +382,9 @@ impl Session {
     fn victim_key(&self, policy: KvPolicy) -> (u64, u64, u32) {
         match policy {
             KvPolicy::Fifo => (self.admission_seq, self.last_step_tick, self.req.id),
-            KvPolicy::Lru => (self.last_step_tick, self.admission_seq, self.req.id),
+            KvPolicy::Lru | KvPolicy::PagedLru => {
+                (self.last_step_tick, self.admission_seq, self.req.id)
+            }
         }
     }
 }
@@ -273,10 +404,11 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InvalidConfig`] when `max_batch` is zero or any
+/// Returns [`CoreError::InvalidConfig`] when `max_batch` is zero, any
 /// request's peak KV cache exceeds the budget on its own (such a request
-/// could never run), and propagates request-validation and measurement
-/// errors.
+/// could never run), `page_bytes` is zero under [`KvPolicy::PagedLru`], or
+/// an [`AdmissionPolicy::RejectAfter`] SLO is not finite and non-negative;
+/// propagates request-validation and measurement errors.
 pub fn serve(
     engine: &MeadowEngine,
     trace: &ArrivalTrace,
@@ -289,6 +421,21 @@ pub fn serve(
             param: "max_batch",
             reason: "must step at least one session per tick".into(),
         });
+    }
+    let paged = config.policy == KvPolicy::PagedLru;
+    if paged && config.page_bytes == 0 {
+        return Err(CoreError::InvalidConfig {
+            param: "page_bytes",
+            reason: "PagedLru needs a non-zero page size".into(),
+        });
+    }
+    if let AdmissionPolicy::RejectAfter { ttft_slo_ms } = config.admission {
+        if !ttft_slo_ms.is_finite() || ttft_slo_ms < 0.0 {
+            return Err(CoreError::InvalidConfig {
+                param: "ttft_slo_ms",
+                reason: format!("must be finite and non-negative, got {ttft_slo_ms}"),
+            });
+        }
     }
     if let Some(budget) = config.kv_budget_bytes {
         for r in &trace.requests {
@@ -311,6 +458,20 @@ pub fn serve(
     // attention traffic is ledgered inside each LatencyReport.
     let mut kv_dram = engine.fresh_dram()?;
     let mut ledger = TrafficLedger::new();
+    // The page pool tracks identity and fragmentation; the loop below
+    // enforces the byte budget so all three policies share one accounting
+    // scheme (and `peak_kv_bytes <= budget` holds exactly, not
+    // page-rounded). Sized for every session resident at its peak at once
+    // — per session, because each partially filled tail page burns a frame
+    // — which no reachable allocation exceeds.
+    let mut pages: Option<KvPageAllocator> = if paged {
+        let frames: u64 =
+            trace.requests.iter().map(|r| r.peak_kv_bytes(model).div_ceil(config.page_bytes)).sum();
+        Some(KvPageAllocator::new(frames.max(1) as usize, config.page_bytes)?)
+    } else {
+        None
+    };
+    let page_bytes = config.page_bytes;
 
     let n = trace.requests.len();
     let mut sessions: Vec<Session> = trace.requests.iter().map(|&r| Session::new(r)).collect();
@@ -331,10 +492,14 @@ pub fn serve(
     let mut tick: u64 = 0;
     let mut admission_counter: u64 = 0;
     let mut peak_kv: u64 = 0;
+    let mut frag_peak: u64 = 0;
     let mut total_evictions: u64 = 0;
-    let mut completed = 0usize;
+    let mut page_spills: u64 = 0;
+    let mut page_faults: u64 = 0;
+    let mut rejected: u64 = 0;
+    let mut settled = 0usize;
 
-    while completed < n {
+    while settled < n {
         tick += 1;
         // Idle chip: jump to the next arrival.
         if active.is_empty() && wait.is_empty() {
@@ -346,9 +511,31 @@ pub fn serve(
         while pending.front().is_some_and(|&i| sessions[i].req.arrival_ms <= now) {
             wait.push_back(pending.pop_front().expect("front checked above"));
         }
+        // SLO-aware load shedding: requests still waiting for their first
+        // admission past the TTFT SLO are rejected. Evicted (previously
+        // admitted) sessions are never shed — their work is already sunk.
+        if let AdmissionPolicy::RejectAfter { ttft_slo_ms } = config.admission {
+            wait.retain(|&i| {
+                let s = &mut sessions[i];
+                if s.queue_wait_ms.is_none() && now - s.req.arrival_ms > ttft_slo_ms {
+                    s.rejected = true;
+                    s.queue_wait_ms = Some(now - s.req.arrival_ms);
+                    rejected += 1;
+                    settled += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         // Head-of-line admission: the head joins when its next step fits
         // alongside every resident session's next step (conservative:
-        // assumes all of them grow this tick).
+        // assumes all of them grow this tick). Unspilled pages of demoted
+        // sessions deliberately do NOT count against admission: they are
+        // reclaimable on demand (the enforcement loop below peels them
+        // before anything else), and counting them could wedge the
+        // scheduler — a blocked head with no stepping session would never
+        // advance the clock, so the pages would never free.
         while let Some(&head) = wait.front() {
             let projected: u64 = active.iter().map(|&i| sessions[i].next_kv(model)).sum::<u64>()
                 + sessions[head].next_kv(model);
@@ -362,9 +549,23 @@ pub fn serve(
             if s.queue_wait_ms.is_none() {
                 s.queue_wait_ms = Some(now - s.req.arrival_ms);
             }
-            // A re-admitted session must reload its spilled cache.
-            s.pending_reload_bytes = s.spilled_kv_bytes;
-            s.spilled_kv_bytes = 0;
+            if let Some(pool) = pages.as_mut() {
+                // Re-admission reserves frames for the whole cache up
+                // front (the budget accounted it at admission); the data
+                // itself reloads page-by-page before the next step.
+                let kv = s.kv_bytes(model);
+                s.held_bytes = kv;
+                pool.grow(
+                    s.req.id,
+                    pool.pages_for(kv),
+                    (s.last_step_tick, s.admission_seq, s.req.id),
+                )
+                .expect("pool is sized for the whole trace");
+            } else {
+                // A re-admitted session must reload its spilled cache.
+                s.pending_reload_bytes = s.spilled_kv_bytes;
+                s.spilled_kv_bytes = 0;
+            }
             active.push(head);
         }
         // Step-set selection: least recently stepped first (fair
@@ -375,68 +576,184 @@ pub fn serve(
         });
         let mut step_set: Vec<usize> = order.iter().copied().take(config.max_batch).collect();
         let mut idle: Vec<usize> = order.iter().copied().skip(config.max_batch).collect();
+        if step_set.is_empty() {
+            // Only reachable when load shedding emptied the queue with no
+            // resident work; the next tick jumps to the next arrival.
+            continue;
+        }
         // Budget enforcement: evict until the tick fits. Idle sessions with
         // resident caches go first (freeing them costs no progress), then
         // members of the step set.
         let mut spill_cycles = Cycles::ZERO;
         if let Some(budget) = config.kv_budget_bytes {
             loop {
+                // Demand this tick: every stepping session at its grown
+                // size, every idle resident cache, and — in paged mode —
+                // the unspilled pages of demoted (zombie) sessions.
+                let zombie_held: u64 =
+                    if paged { wait.iter().map(|&i| sessions[i].held_bytes).sum() } else { 0 };
                 let needed: u64 = step_set.iter().map(|&i| sessions[i].next_kv(model)).sum::<u64>()
-                    + idle.iter().map(|&i| sessions[i].resident_kv(model)).sum::<u64>();
+                    + idle.iter().map(|&i| sessions[i].resident_kv(model)).sum::<u64>()
+                    + zombie_held;
                 if needed <= budget {
                     break;
                 }
-                let victim = idle
-                    .iter()
-                    .copied()
-                    .filter(|&i| sessions[i].resident_kv(model) > 0)
-                    .min_by_key(|&i| sessions[i].victim_key(config.policy))
-                    .or_else(|| {
-                        // Evicting the last stepping session is impossible:
-                        // a single next step always fits (validated above).
-                        step_set
+                if let Some(pool) = pages.as_mut() {
+                    // Lazy page-granular spill: first peel pages that
+                    // demoted sessions left behind (stalest owner first);
+                    // once none remain, demote the whole-cache victim —
+                    // without spilling anything yet. Demotion is what
+                    // throttles the multiprogramming level (the session
+                    // stops being scheduled, exactly like whole-cache
+                    // eviction, so paging cannot thrash the step set);
+                    // peeling is what bounds the traffic (only the bytes
+                    // the tick actually needs ever move).
+                    let zombie_page =
+                        pool.lru_page(|sid| wait.iter().any(|&i| sessions[i].req.id == sid));
+                    if let Some((_, owner)) = zombie_page {
+                        let victim = *wait
+                            .iter()
+                            .find(|&&i| sessions[i].req.id == owner)
+                            .expect("lru_page owners are demoted sessions");
+                        let s = &mut sessions[victim];
+                        let frames = pool.session_pages(owner) as u64;
+                        let tail_start = (frames - 1) * page_bytes;
+                        // Only the valid, on-chip bytes of the tail page
+                        // move; reserved-but-unloaded frames free silently
+                        // (their data never came back on chip).
+                        let write = s.loaded_bytes.saturating_sub(tail_start);
+                        if write > 0 {
+                            spill_cycles += kv_dram.transfer(TrafficClass::KvCache, write);
+                            page_spills += 1;
+                        }
+                        pool.evict_tail(owner);
+                        s.held_bytes = tail_start;
+                        s.loaded_bytes = s.loaded_bytes.min(tail_start);
+                    } else if let Some(victim) = idle
+                        .iter()
+                        .copied()
+                        .filter(|&i| sessions[i].held_bytes > 0)
+                        .min_by_key(|&i| sessions[i].victim_key(config.policy))
+                    {
+                        // Demote the whole-cache victim — without spilling
+                        // anything yet: its pages stay resident until a
+                        // later iteration (or tick) actually needs the
+                        // frames, and only those peel.
+                        idle.retain(|&i| i != victim);
+                        active.retain(|&i| i != victim);
+                        let s = &mut sessions[victim];
+                        if s.prefilled {
+                            total_evictions += 1;
+                            s.evictions += 1;
+                        }
+                        wait.push_back(victim);
+                    } else {
+                        // No idle cache left: demote a stepping session
+                        // (possible progress loss, same fallback as
+                        // whole-cache mode). This path spills eagerly —
+                        // the victim was about to run, so its whole cache
+                        // must leave at once for the rest of the batch to
+                        // fit, exactly as whole-cache eviction would.
+                        let victim = step_set
                             .iter()
                             .copied()
                             .min_by_key(|&i| sessions[i].victim_key(config.policy))
-                    })
-                    .expect("an over-budget tick always has an evictable session");
-                idle.retain(|&i| i != victim);
-                step_set.retain(|&i| i != victim);
-                active.retain(|&i| i != victim);
-                let s = &mut sessions[victim];
-                if s.prefilled {
-                    // Only a session that actually holds (or owes) a cache
-                    // counts as evicted; bumping a not-yet-prefilled session
-                    // back to the queue is a preemption that spills nothing.
-                    total_evictions += 1;
-                    s.evictions += 1;
-                    if s.pending_reload_bytes > 0 {
-                        // Evicted again before reloading: the cache never
-                        // came back on chip, so nothing is written out.
-                        s.spilled_kv_bytes = s.pending_reload_bytes;
-                        s.pending_reload_bytes = 0;
-                    } else {
-                        let bytes = s.resident_kv(model);
-                        spill_cycles += kv_dram.transfer(TrafficClass::KvCache, bytes);
-                        s.spilled_kv_bytes = bytes;
+                            .expect("an over-budget tick always has a stepping session");
+                        step_set.retain(|&i| i != victim);
+                        active.retain(|&i| i != victim);
+                        let s = &mut sessions[victim];
+                        if s.prefilled {
+                            total_evictions += 1;
+                            s.evictions += 1;
+                        }
+                        if s.loaded_bytes > 0 {
+                            spill_cycles += kv_dram.transfer_paged(
+                                TrafficClass::KvCache,
+                                s.loaded_bytes,
+                                page_bytes,
+                            );
+                            page_spills += pool.pages_for(s.loaded_bytes) as u64;
+                        }
+                        pool.release(s.req.id);
+                        s.held_bytes = 0;
+                        s.loaded_bytes = 0;
+                        wait.push_back(victim);
                     }
+                } else {
+                    let victim = idle
+                        .iter()
+                        .copied()
+                        .filter(|&i| sessions[i].resident_kv(model) > 0)
+                        .min_by_key(|&i| sessions[i].victim_key(config.policy))
+                        .or_else(|| {
+                            // Evicting the last stepping session is impossible:
+                            // a single next step always fits (validated above).
+                            step_set
+                                .iter()
+                                .copied()
+                                .min_by_key(|&i| sessions[i].victim_key(config.policy))
+                        })
+                        .expect("an over-budget tick always has an evictable session");
+                    idle.retain(|&i| i != victim);
+                    step_set.retain(|&i| i != victim);
+                    active.retain(|&i| i != victim);
+                    let s = &mut sessions[victim];
+                    if s.prefilled {
+                        // Only a session that actually holds (or owes) a cache
+                        // counts as evicted; bumping a not-yet-prefilled session
+                        // back to the queue is a preemption that spills nothing.
+                        total_evictions += 1;
+                        s.evictions += 1;
+                        if s.pending_reload_bytes > 0 {
+                            // Evicted again before reloading: the cache never
+                            // came back on chip, so nothing is written out.
+                            s.spilled_kv_bytes = s.pending_reload_bytes;
+                            s.pending_reload_bytes = 0;
+                        } else {
+                            let bytes = s.resident_kv(model);
+                            spill_cycles += kv_dram.transfer(TrafficClass::KvCache, bytes);
+                            s.spilled_kv_bytes = bytes;
+                        }
+                    }
+                    wait.push_back(victim);
                 }
-                wait.push_back(victim);
             }
         }
         debug_assert!(!step_set.is_empty(), "a tick with work must step a session");
-        // Reload spilled caches for re-admitted sessions about to step.
-        let reload_cycles: Vec<Cycles> = step_set
-            .iter()
-            .map(|&i| {
+        // Reload spilled caches for sessions about to step. Paged mode also
+        // reserves the frames the step's KV growth will fill.
+        let mut reload_cycles: Vec<Cycles> = Vec::with_capacity(step_set.len());
+        for &i in &step_set {
+            if let Some(pool) = pages.as_mut() {
+                let s = &mut sessions[i];
+                let existing = s.kv_bytes(model);
+                let next = s.next_kv(model);
+                pool.grow(s.req.id, pool.pages_for(next), (tick, s.admission_seq, s.req.id))
+                    .expect("pool is sized for the whole trace");
+                // Fault the off-chip suffix back in, page by page (the
+                // suffix starts page-aligned: eviction only peels whole
+                // tail pages).
+                let fault = existing - s.loaded_bytes;
+                if fault > 0 {
+                    reload_cycles.push(kv_dram.transfer_paged(
+                        TrafficClass::KvCache,
+                        fault,
+                        page_bytes,
+                    ));
+                    page_faults += fault.div_ceil(page_bytes);
+                    s.loaded_bytes = existing;
+                } else {
+                    reload_cycles.push(Cycles::ZERO);
+                }
+            } else {
                 let bytes = std::mem::take(&mut sessions[i].pending_reload_bytes);
-                if bytes > 0 {
+                reload_cycles.push(if bytes > 0 {
                     kv_dram.transfer(TrafficClass::KvCache, bytes)
                 } else {
                     Cycles::ZERO
-                }
-            })
-            .collect();
+                });
+            }
+        }
         // Measure every step with the exact single-request machinery; the
         // fan-out is the engine's execution policy and the results are
         // order-preserving, so the run is bit-identical across thread
@@ -481,12 +798,41 @@ pub fn serve(
                 s.prefill_ms = own_ms;
                 s.first_token_ms = done_ms;
             }
+            if paged {
+                // The step's own KV writes land on chip as part of the
+                // measured attention traffic; residency grows in place.
+                let kv = s.kv_bytes(model);
+                s.held_bytes = kv;
+                s.loaded_bytes = kv;
+            }
         }
         // Residency peaks at tick end, before completed caches are freed.
-        let resident: u64 = active.iter().map(|&i| sessions[i].resident_kv(model)).sum();
+        // Paged residency also counts the unspilled pages of demoted
+        // sessions — they hold frames until lazily peeled.
+        let resident: u64 = if paged {
+            active.iter().chain(wait.iter()).map(|&i| sessions[i].held_bytes).sum()
+        } else {
+            active.iter().map(|&i| sessions[i].resident_kv(model)).sum()
+        };
         peak_kv = peak_kv.max(resident);
+        if let Some(pool) = pages.as_ref() {
+            let frag: u64 = active
+                .iter()
+                .chain(wait.iter())
+                .map(|&i| pool.frag_bytes(sessions[i].req.id, sessions[i].held_bytes))
+                .sum();
+            frag_peak = frag_peak.max(frag);
+            debug_assert!(pool.conserves_pages(), "page tables must conserve the pool");
+        }
         active.retain(|i| !finished.contains(i));
-        completed += finished.len();
+        if let Some(pool) = pages.as_mut() {
+            for &i in &finished {
+                pool.release(sessions[i].req.id);
+                sessions[i].held_bytes = 0;
+                sessions[i].loaded_bytes = 0;
+            }
+        }
+        settled += finished.len();
         now += clock.to_ms(tick_cycles);
     }
 
@@ -498,24 +844,33 @@ pub fn serve(
             prompt_tokens: s.req.prompt_tokens,
             generated_tokens: s.generated,
             arrival_ms: s.req.arrival_ms,
+            rejected: s.rejected,
             queue_wait_ms: s.queue_wait_ms.unwrap_or(0.0),
             prefill_ms: s.prefill_ms,
             first_token_ms: s.first_token_ms,
             finish_ms: s.finish_ms,
             tbt_ms: s.tbt_ms.clone(),
             evictions: s.evictions,
-            final_kv_bytes: kv_cache_total_bytes(model, s.req.final_context_len()),
+            final_kv_bytes: if s.rejected {
+                0
+            } else {
+                kv_cache_total_bytes(model, s.req.final_context_len())
+            },
         })
         .collect();
     let total_generated: u64 = traces.iter().map(|t| t.generated_tokens as u64).sum();
-    let mut latencies: Vec<f64> = traces.iter().map(ServeTrace::total_latency_ms).collect();
+    let mut latencies: Vec<f64> =
+        traces.iter().filter(|t| !t.rejected).map(ServeTrace::total_latency_ms).collect();
     latencies.sort_by(f64::total_cmp);
     let tokens_per_sec = if now > 0.0 { total_generated as f64 / (now / 1e3) } else { 0.0 };
     Ok(ServeReport {
         policy: config.policy,
+        admission: config.admission,
         kv_budget_bytes: config.kv_budget_bytes,
+        page_bytes: config.page_bytes,
         max_batch: config.max_batch,
         requests: n,
+        rejected_requests: rejected,
         total_generated_tokens: total_generated,
         ticks: tick,
         makespan_ms: now,
@@ -524,6 +879,9 @@ pub fn serve(
         p95_latency_ms: percentile(&latencies, 0.95),
         peak_kv_bytes: peak_kv,
         total_evictions,
+        total_page_spills: page_spills,
+        total_page_faults: page_faults,
+        kv_frag_peak_bytes: frag_peak,
         ledger,
         traces,
     })
@@ -572,10 +930,12 @@ mod tests {
         assert_eq!(report.requests, 1);
         assert_eq!(report.total_generated_tokens, 8);
         assert_eq!(report.total_evictions, 0);
+        assert_eq!(report.rejected_requests, 0);
         let t = &report.traces[0];
         assert_eq!(t.generated_tokens, 8);
         assert_eq!(t.tbt_ms.len(), 8);
         assert_eq!(t.queue_wait_ms, 0.0);
+        assert!(!t.rejected);
         assert!(t.first_token_ms > 0.0);
         assert!(t.finish_ms > t.first_token_ms);
         assert!(report.makespan_ms >= t.finish_ms);
@@ -615,12 +975,106 @@ mod tests {
     }
 
     #[test]
+    fn paged_policy_completes_under_pressure_with_page_metrics() {
+        let model = presets::tiny_decoder();
+        let trace = ArrivalTrace::uniform(4, 0.0, 16, 8);
+        let budget = 2 * ServeRequest::new(0, 0.0, 16, 8).peak_kv_bytes(&model);
+        let config = ServeConfig::default()
+            .with_budget(budget)
+            .with_policy(KvPolicy::PagedLru)
+            .with_page_bytes(256);
+        let report = serve(&engine(), &trace, &config).unwrap();
+        assert_eq!(report.total_generated_tokens, 4 * 8);
+        assert!(report.peak_kv_bytes <= budget);
+        assert!(report.total_page_spills > 0, "pressure must peel pages");
+        assert!(report.total_page_faults > 0, "peeled pages must fault back");
+        assert!(report.ledger.bytes(TrafficClass::KvCache) > 0);
+    }
+
+    #[test]
+    fn paged_moves_fewer_migration_bytes_than_whole_cache() {
+        let model = presets::tiny_decoder();
+        let trace = ArrivalTrace::uniform(4, 0.0, 16, 8);
+        // Budget slightly under total demand, with a batch cap rotating
+        // idle sessions through the pool: whole-cache eviction thrashes
+        // entire caches to make a single step's room, paged eviction peels
+        // only the overflow.
+        let budget = 5 * ServeRequest::new(0, 0.0, 16, 8).peak_kv_bytes(&model) / 2;
+        let e = engine();
+        let base = ServeConfig::default().with_budget(budget).with_max_batch(2);
+        let whole = serve(&e, &trace, &base.with_policy(KvPolicy::Lru)).unwrap();
+        let paged =
+            serve(&e, &trace, &base.with_policy(KvPolicy::PagedLru).with_page_bytes(256)).unwrap();
+        assert!(whole.total_evictions > 0);
+        assert!(
+            paged.ledger.bytes(TrafficClass::KvCache) < whole.ledger.bytes(TrafficClass::KvCache),
+            "paged {} !< whole {}",
+            paged.ledger.bytes(TrafficClass::KvCache),
+            whole.ledger.bytes(TrafficClass::KvCache)
+        );
+    }
+
+    #[test]
+    fn reject_after_sheds_load_under_pressure() {
+        let model = presets::tiny_decoder();
+        // Simultaneous arrivals against a one-session budget: later requests
+        // blow any tight TTFT SLO while the first one decodes.
+        let trace = ArrivalTrace::uniform(4, 0.0, 16, 32);
+        let single = ServeRequest::new(0, 0.0, 16, 32).peak_kv_bytes(&model);
+        let config = ServeConfig::default()
+            .with_budget(single)
+            .with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 0.05 });
+        let report = serve(&engine(), &trace, &config).unwrap();
+        assert!(report.rejected_requests > 0, "pressure must shed load");
+        assert!(report.rejected_requests < 4, "the head request always runs");
+        let done: u64 =
+            report.traces.iter().filter(|t| !t.rejected).map(|t| t.generated_tokens as u64).sum();
+        assert_eq!(report.total_generated_tokens, done);
+        for t in report.traces.iter().filter(|t| t.rejected) {
+            assert_eq!(t.generated_tokens, 0);
+            assert_eq!(t.final_kv_bytes, 0);
+            assert_eq!(t.finish_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn queue_admission_never_rejects() {
+        let model = presets::tiny_decoder();
+        let trace = ArrivalTrace::uniform(4, 0.0, 16, 8);
+        let single = ServeRequest::new(0, 0.0, 16, 8).peak_kv_bytes(&model);
+        let report = serve(&engine(), &trace, &ServeConfig::default().with_budget(single)).unwrap();
+        assert_eq!(report.rejected_requests, 0);
+        assert_eq!(report.total_generated_tokens, 32);
+    }
+
+    #[test]
     fn validation_rejects_bad_configs() {
         let e = engine();
         let trace = ArrivalTrace::uniform(2, 0.0, 16, 8);
         assert!(serve(&e, &trace, &ServeConfig::default().with_max_batch(0)).is_err());
         // Budget smaller than a single request's peak KV can never serve it.
         assert!(serve(&e, &trace, &ServeConfig::default().with_budget(1)).is_err());
+        // A paged pool needs non-zero pages, and SLOs must be sane.
+        assert!(serve(
+            &e,
+            &trace,
+            &ServeConfig::default().with_policy(KvPolicy::PagedLru).with_page_bytes(0)
+        )
+        .is_err());
+        assert!(serve(
+            &e,
+            &trace,
+            &ServeConfig::default()
+                .with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: f64::NAN })
+        )
+        .is_err());
+        assert!(serve(
+            &e,
+            &trace,
+            &ServeConfig::default()
+                .with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: -1.0 })
+        )
+        .is_err());
         let dup = ArrivalTrace::new(vec![
             ServeRequest::new(7, 0.0, 8, 2),
             ServeRequest::new(7, 0.0, 8, 2),
@@ -654,7 +1108,11 @@ mod tests {
     #[test]
     fn report_round_trips_through_json() {
         let trace = ArrivalTrace::uniform(2, 0.5, 8, 2);
-        let config = ServeConfig::default().with_budget(1 << 20).with_policy(KvPolicy::Lru);
+        let config = ServeConfig::default()
+            .with_budget(1 << 20)
+            .with_policy(KvPolicy::PagedLru)
+            .with_page_bytes(512)
+            .with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 1e6 });
         let report = serve(&engine(), &trace, &config).unwrap();
         let json = report.to_json().unwrap();
         let parsed: ServeReport = serde_json::from_str(&json).unwrap();

@@ -6,6 +6,32 @@
 //! *walks* the generation loop step by step, which is what a serving stack
 //! on the device would observe: per-token latencies, cumulative time,
 //! KV-cache growth and the final tokens/second.
+//!
+//! One session is also the *reference semantics* of the multi-session
+//! scheduler: [`serve`](crate::serve::serve) with an unbounded budget
+//! reproduces each request's [`SessionTrace::ttft_ms`] and
+//! [`SessionTrace::tbt_ms`] bit-for-bit (the `tests/serve_invariants.rs`
+//! solo-equivalence contract), so everything the serving layer adds —
+//! queueing, batching, paged eviction — is measurable as a delta against
+//! this walk.
+//!
+//! # Examples
+//!
+//! ```
+//! use meadow_core::session::InferenceSession;
+//! use meadow_core::{EngineConfig, MeadowEngine};
+//! use meadow_models::presets;
+//!
+//! # fn main() -> Result<(), meadow_core::CoreError> {
+//! let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0))?;
+//! let mut session = InferenceSession::start(&engine, 16)?;
+//! session.generate(8)?;
+//! let trace = session.finish();
+//! assert_eq!(trace.tbt_ms.len(), 8);
+//! assert!(trace.tbt_is_monotone(), "the KV cache only grows");
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::engine::MeadowEngine;
 use crate::error::CoreError;

@@ -17,7 +17,9 @@
 //!   redundancy profiles.
 //! * [`weights`] — materialized layer weights plus sampled packing
 //!   statistics for large models.
-//! * [`workload`] — prefill/decode workload descriptors and KV-cache sizing.
+//! * [`workload`] — prefill/decode workload descriptors, KV-cache sizing,
+//!   and open-loop serving-trace generators (Poisson arrivals,
+//!   Zipf-distributed lengths).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,4 +34,4 @@ pub mod workload;
 pub use config::{MatrixKind, ModelKind, TransformerConfig};
 pub use error::ModelError;
 pub use synthetic::RedundancyProfile;
-pub use workload::{ArrivalTrace, DecodeWorkload, PrefillWorkload, ServeRequest};
+pub use workload::{ArrivalTrace, DecodeWorkload, PrefillWorkload, ServeRequest, ZipfLengths};

@@ -1,7 +1,48 @@
-//! Prefill / decode workload descriptors and KV-cache sizing.
+//! Prefill / decode workload descriptors, KV-cache sizing, and the serving
+//! workload model.
+//!
+//! Three layers build on each other:
+//!
+//! * [`PrefillWorkload`] / [`DecodeWorkload`] describe a single measured
+//!   step (the TTFT and TBT probes of the paper's §6.1), with
+//!   [`kv_cache_total_bytes`] sizing the cache a context occupies.
+//! * [`ServeRequest`] wraps a whole generation request — arrival time,
+//!   prompt, tokens to generate — and [`ArrivalTrace`] groups them into
+//!   the input of the serving simulator
+//!   (`meadow_core::serve`).
+//! * The **open-loop generators** synthesize realistic traces: Poisson
+//!   arrivals ([`ArrivalTrace::poisson`]) model independent users hitting
+//!   the chip at a fixed offered rate regardless of completion (open loop,
+//!   unlike a closed-loop benchmark that waits for responses), and
+//!   [`ZipfLengths`] adds the heavy-tailed prompt/output-length mix of
+//!   real chat traffic ([`ArrivalTrace::open_loop`]). Both are
+//!   seed-deterministic: the same seed reproduces the same trace byte for
+//!   byte.
+//!
+//! # Examples
+//!
+//! ```
+//! use meadow_models::workload::ArrivalTrace;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), meadow_models::ModelError> {
+//! // 8 requests at an offered load of 50 req/s, fixed 128/32 lengths.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let trace = ArrivalTrace::poisson(8, 50.0, 128, 32, &mut rng)?;
+//! assert_eq!(trace.requests.len(), 8);
+//! // Arrivals are non-decreasing and the same seed replays exactly.
+//! assert!(trace.requests.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+//! let mut rng2 = StdRng::seed_from_u64(7);
+//! assert_eq!(trace, ArrivalTrace::poisson(8, 50.0, 128, 32, &mut rng2)?);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::config::{ModelKind, TransformerConfig};
 use crate::error::ModelError;
+use crate::synthetic::ZipfSampler;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A prefill request: the whole prompt is processed in one batch, producing
@@ -157,6 +198,67 @@ impl ServeRequest {
     }
 }
 
+/// Zipf-distributed prompt/output lengths for open-loop trace synthesis.
+///
+/// Real chat traffic is heavy-tailed: most prompts and completions are
+/// short, a few are very long. Lengths are drawn from `min..=max` with
+/// rank-`k` probability proportional to `1 / (k+1)^exponent` (rank 0 =
+/// `min`), so `min` is the mode and mass decays toward `max`; a larger
+/// exponent concentrates more of the traffic at the short end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZipfLengths {
+    /// Shortest (and most frequent) prompt length.
+    pub prompt_min: usize,
+    /// Longest prompt length.
+    pub prompt_max: usize,
+    /// Shortest (and most frequent) generation length.
+    pub generate_min: usize,
+    /// Longest generation length.
+    pub generate_max: usize,
+    /// Zipf exponent shared by both distributions (must be finite and
+    /// positive; around 1.0–1.5 matches observed chat mixes).
+    pub exponent: f64,
+}
+
+impl ZipfLengths {
+    /// Validates the ranges and exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for zero minimums, inverted
+    /// ranges, or a non-finite or non-positive exponent.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.prompt_min == 0 || self.generate_min == 0 {
+            return Err(ModelError::InvalidConfig {
+                param: "zipf_lengths",
+                reason: "prompt_min and generate_min must be at least 1".into(),
+            });
+        }
+        if self.prompt_max < self.prompt_min || self.generate_max < self.generate_min {
+            return Err(ModelError::InvalidConfig {
+                param: "zipf_lengths",
+                reason: "max lengths must not be below their minimums".into(),
+            });
+        }
+        // ZipfSampler re-validates, but failing here names the right knob.
+        if !self.exponent.is_finite() || self.exponent <= 0.0 {
+            return Err(ModelError::InvalidConfig {
+                param: "zipf_lengths",
+                reason: format!("exponent must be finite and positive, got {}", self.exponent),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Samples one exponential interarrival gap in ms for a Poisson process at
+/// `rate_per_sec` (inverse-CDF over the rng's unit sample).
+fn exp_gap_ms<R: Rng>(rng: &mut R, rate_per_sec: f64) -> f64 {
+    let u: f64 = rng.gen();
+    // u ∈ [0, 1) so 1-u ∈ (0, 1]: the log is finite and non-positive.
+    -(1.0 - u).ln() / rate_per_sec * 1e3
+}
+
 /// An ordered set of [`ServeRequest`]s — the input to the serving simulator.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ArrivalTrace {
@@ -191,6 +293,88 @@ impl ArrivalTrace {
                 })
                 .collect(),
         }
+    }
+
+    /// An open-loop Poisson trace with fixed lengths: `n` requests with ids
+    /// `0..n` whose interarrival gaps are exponentially distributed at an
+    /// offered load of `rate_per_sec` requests per second, independent of
+    /// completions (the harder, more realistic counterpart of a closed-loop
+    /// benchmark that waits between requests).
+    ///
+    /// Deterministic for a given seeded rng state — see the
+    /// [module docs](self) for a replay example.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when `rate_per_sec` is not
+    /// finite and positive.
+    pub fn poisson<R: Rng>(
+        n: usize,
+        rate_per_sec: f64,
+        prompt_tokens: usize,
+        generate_tokens: usize,
+        rng: &mut R,
+    ) -> Result<Self, ModelError> {
+        Self::poisson_with(n, rate_per_sec, rng, |_| (prompt_tokens, generate_tokens))
+    }
+
+    /// Shared arrival engine of the open-loop generators: Poisson gaps at
+    /// `rate_per_sec`, with per-request lengths drawn by `lengths` (the
+    /// rng is handed to the closure *after* the gap draw, so fixed- and
+    /// sampled-length traces share one arrival stream definition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when `rate_per_sec` is not
+    /// finite and positive.
+    fn poisson_with<R: Rng>(
+        n: usize,
+        rate_per_sec: f64,
+        rng: &mut R,
+        mut lengths: impl FnMut(&mut R) -> (usize, usize),
+    ) -> Result<Self, ModelError> {
+        if !rate_per_sec.is_finite() || rate_per_sec <= 0.0 {
+            return Err(ModelError::InvalidConfig {
+                param: "rate_per_sec",
+                reason: format!("must be finite and positive, got {rate_per_sec}"),
+            });
+        }
+        let mut now = 0.0;
+        Ok(Self {
+            requests: (0..n)
+                .map(|i| {
+                    now += exp_gap_ms(rng, rate_per_sec);
+                    let (prompt, generate) = lengths(rng);
+                    ServeRequest::new(i as u32, now, prompt, generate)
+                })
+                .collect(),
+        })
+    }
+
+    /// An open-loop trace combining Poisson arrivals with Zipf-distributed
+    /// prompt/output lengths — the full synthetic serving workload
+    /// (arrival process from [`ArrivalTrace::poisson`], length mix from
+    /// [`ZipfLengths`]). Deterministic for a given seeded rng state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for an invalid rate (see
+    /// [`ArrivalTrace::poisson`]) or length configuration (see
+    /// [`ZipfLengths::validate`]).
+    pub fn open_loop<R: Rng>(
+        n: usize,
+        rate_per_sec: f64,
+        lengths: &ZipfLengths,
+        rng: &mut R,
+    ) -> Result<Self, ModelError> {
+        lengths.validate()?;
+        let prompt =
+            ZipfSampler::new(lengths.prompt_max - lengths.prompt_min + 1, lengths.exponent)?;
+        let generate =
+            ZipfSampler::new(lengths.generate_max - lengths.generate_min + 1, lengths.exponent)?;
+        Self::poisson_with(n, rate_per_sec, rng, |rng| {
+            (lengths.prompt_min + prompt.sample(rng), lengths.generate_min + generate.sample(rng))
+        })
     }
 
     /// Validates every request and checks id uniqueness.
@@ -284,6 +468,83 @@ mod tests {
         let r = ServeRequest::new(3, 1.5, 16, 8);
         assert_eq!(r.final_context_len(), 24);
         assert_eq!(r.peak_kv_bytes(&c), kv_cache_total_bytes(&c, 24));
+    }
+
+    #[test]
+    fn poisson_trace_is_seed_deterministic_and_ordered() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let a = ArrivalTrace::poisson(16, 100.0, 24, 8, &mut StdRng::seed_from_u64(3)).unwrap();
+        let b = ArrivalTrace::poisson(16, 100.0, 24, 8, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a, b, "same seed must replay the same trace");
+        let c = ArrivalTrace::poisson(16, 100.0, 24, 8, &mut StdRng::seed_from_u64(4)).unwrap();
+        assert_ne!(a, c, "different seeds must differ");
+        assert_eq!(a.requests.len(), 16);
+        assert!(a.requests.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        assert!(a.requests.iter().all(|r| r.arrival_ms >= 0.0 && r.arrival_ms.is_finite()));
+        a.validate(&presets::tiny_decoder()).unwrap();
+        // At 100 req/s the mean gap is 10 ms; 16 gaps land within a loose
+        // order-of-magnitude envelope around 160 ms.
+        let last = a.requests.last().unwrap().arrival_ms;
+        assert!(last > 16.0 && last < 1600.0, "implausible makespan {last}");
+    }
+
+    #[test]
+    fn poisson_rejects_bad_rates() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(ArrivalTrace::poisson(4, 0.0, 8, 2, &mut rng).is_err());
+        assert!(ArrivalTrace::poisson(4, -5.0, 8, 2, &mut rng).is_err());
+        assert!(ArrivalTrace::poisson(4, f64::NAN, 8, 2, &mut rng).is_err());
+        assert!(ArrivalTrace::poisson(0, 10.0, 8, 2, &mut rng).unwrap().requests.is_empty());
+    }
+
+    #[test]
+    fn open_loop_trace_respects_length_bounds_and_skew() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let lengths = ZipfLengths {
+            prompt_min: 4,
+            prompt_max: 32,
+            generate_min: 2,
+            generate_max: 16,
+            exponent: 1.2,
+        };
+        let t =
+            ArrivalTrace::open_loop(200, 50.0, &lengths, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(t.requests.len(), 200);
+        for r in &t.requests {
+            assert!((4..=32).contains(&r.prompt_tokens));
+            assert!((2..=16).contains(&r.generate_tokens));
+        }
+        // Zipf skew: the shortest prompt rank dominates any single long one.
+        let short = t.requests.iter().filter(|r| r.prompt_tokens == 4).count();
+        let long = t.requests.iter().filter(|r| r.prompt_tokens == 32).count();
+        assert!(short > long, "rank-0 count {short} should beat tail count {long}");
+        let replay =
+            ArrivalTrace::open_loop(200, 50.0, &lengths, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(t, replay);
+    }
+
+    #[test]
+    fn zipf_lengths_validation() {
+        let ok = ZipfLengths {
+            prompt_min: 1,
+            prompt_max: 8,
+            generate_min: 1,
+            generate_max: 4,
+            exponent: 1.0,
+        };
+        assert!(ok.validate().is_ok());
+        assert!(ZipfLengths { prompt_min: 0, ..ok }.validate().is_err());
+        assert!(ZipfLengths { generate_min: 0, ..ok }.validate().is_err());
+        assert!(ZipfLengths { prompt_max: 0, ..ok }.validate().is_err());
+        assert!(ZipfLengths { generate_max: 0, ..ok }.validate().is_err());
+        assert!(ZipfLengths { exponent: 0.0, ..ok }.validate().is_err());
+        assert!(ZipfLengths { exponent: f64::NAN, ..ok }.validate().is_err());
+        // A degenerate single-rank range is legal (fixed lengths).
+        assert!(ZipfLengths { prompt_max: 1, generate_max: 1, ..ok }.validate().is_ok());
     }
 
     #[test]

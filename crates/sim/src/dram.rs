@@ -220,6 +220,28 @@ impl DramModel {
         cycles
     }
 
+    /// Performs an accounted transfer of `bytes` moved as page-granular
+    /// chunks of `page_bytes` (the last chunk may be partial): each page is
+    /// a separate burst-rounded transfer, which is how the serving layer's
+    /// paged KV spill/reload traffic hits the channel. Equivalent to
+    /// [`DramModel::transfer`] when `bytes <= page_bytes`.
+    ///
+    /// A zero `page_bytes` falls back to a single whole transfer rather
+    /// than dividing by zero (callers validate page sizes upstream).
+    pub fn transfer_paged(&mut self, class: TrafficClass, bytes: u64, page_bytes: u64) -> Cycles {
+        if page_bytes == 0 || bytes <= page_bytes {
+            return self.transfer(class, bytes);
+        }
+        let mut total = Cycles::ZERO;
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let chunk = remaining.min(page_bytes);
+            total += self.transfer(class, chunk);
+            remaining -= chunk;
+        }
+        total
+    }
+
     /// The accumulated traffic ledger.
     pub fn ledger(&self) -> &TrafficLedger {
         &self.ledger
@@ -306,6 +328,32 @@ mod tests {
             assert!(c.is_fetch() ^ c.is_store());
         }
         assert_eq!(TrafficClass::all().len(), 8);
+    }
+
+    #[test]
+    fn paged_transfers_charge_per_page_bursts() {
+        let mut whole = dram(12.0);
+        let mut paged = dram(12.0);
+        let one = whole.transfer(TrafficClass::KvCache, 1000);
+        let chunked = paged.transfer_paged(TrafficClass::KvCache, 1000, 256);
+        // Same bytes on the ledger; the page-granular path pays burst
+        // rounding per chunk, so it can only be slower.
+        assert_eq!(whole.ledger().bytes(TrafficClass::KvCache), 1000);
+        assert_eq!(paged.ledger().bytes(TrafficClass::KvCache), 1000);
+        assert!(chunked >= one, "chunked {chunked:?} < whole {one:?}");
+        // A transfer at or below one page is exactly a plain transfer, and
+        // zero page size degenerates to a whole transfer.
+        let mut a = dram(12.0);
+        let mut b = dram(12.0);
+        assert_eq!(
+            a.transfer_paged(TrafficClass::KvCache, 200, 256),
+            b.transfer(TrafficClass::KvCache, 200)
+        );
+        assert_eq!(
+            a.transfer_paged(TrafficClass::KvCache, 999, 0),
+            b.transfer(TrafficClass::KvCache, 999)
+        );
+        assert_eq!(a.transfer_paged(TrafficClass::KvCache, 0, 256), Cycles::ZERO);
     }
 
     #[test]

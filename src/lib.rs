@@ -10,8 +10,10 @@
 //!   packet-specific precision, frequency-aware re-indexing, WILU/MAU).
 //! * [`models`] — OPT / DeiT model configs and synthetic calibrated weights.
 //! * [`dataflow`] — GEMM-mode and TPHS executors with latency breakdowns.
-//! * [`core`] — the `MeadowEngine`, dataflow planner, roofline model and the
-//!   CTA / FlightLLM prior-work baselines.
+//! * [`core`] — the `MeadowEngine`, dataflow planner, roofline model, the
+//!   CTA / FlightLLM prior-work baselines, and the multi-session serving
+//!   layer (continuous batching, paged KV-cache budgets, SLO-aware
+//!   admission).
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,139 @@
+//! Property suite for the paged KV-cache allocator: page conservation (no
+//! frame is ever leaked or double-owned), pool-capacity safety, sizing
+//! arithmetic and LRU victim ordering under arbitrary grow/touch/evict/
+//! release sequences.
+
+use meadow::core::kv_pages::KvPageAllocator;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One step of a random allocator workout.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Grow { session: u32, pages: usize },
+    Touch { session: u32, tick: u64 },
+    EvictTail { session: u32 },
+    EvictLru,
+    Release { session: u32 },
+}
+
+/// The vendored proptest cannot box heterogeneous strategies, so ops are
+/// decoded from a uniform tuple: a selector plus the operand pool.
+fn op_strategy(sessions: u32) -> impl Strategy<Value = Op> {
+    (0u8..5, 0..sessions, 1usize..5, 0u64..100).prop_map(
+        |(kind, session, pages, tick)| match kind {
+            0 => Op::Grow { session, pages },
+            1 => Op::Touch { session, tick },
+            2 => Op::EvictTail { session },
+            3 => Op::EvictLru,
+            _ => Op::Release { session },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Page conservation: after any operation sequence, every frame is
+    /// either free or in exactly one page table, the pool never exceeds
+    /// its capacity, and a grow that the free list cannot cover fails
+    /// without corrupting anything.
+    #[test]
+    fn allocator_conserves_pages(
+        total in 1usize..24,
+        ops in vec(op_strategy(5), 1..60),
+    ) {
+        let mut pool = KvPageAllocator::new(total, 64).unwrap();
+        for op in ops {
+            match op {
+                Op::Grow { session, pages } => {
+                    let target = pool.session_pages(session) + pages;
+                    let fits = pages <= pool.free_pages();
+                    let result = pool.grow(session, target, (1, 1, session));
+                    prop_assert_eq!(result.is_ok(), fits, "grow must fail iff the pool is short");
+                    if fits {
+                        prop_assert_eq!(result.unwrap(), pages);
+                        prop_assert_eq!(pool.session_pages(session), target);
+                    }
+                }
+                Op::Touch { session, tick } => pool.touch(session, (tick, 1, session)),
+                Op::EvictTail { session } => {
+                    let held = pool.session_pages(session);
+                    let evicted = pool.evict_tail(session);
+                    prop_assert_eq!(evicted.is_some(), held > 0);
+                    prop_assert_eq!(pool.session_pages(session), held.saturating_sub(1));
+                }
+                Op::EvictLru => {
+                    if let Some((page, owner)) = pool.lru_page(|_| true) {
+                        prop_assert_eq!(pool.evict_tail(owner), Some(page));
+                    }
+                }
+                Op::Release { session } => {
+                    let held = pool.session_pages(session);
+                    prop_assert_eq!(pool.release(session), held);
+                    prop_assert_eq!(pool.session_pages(session), 0);
+                }
+            }
+            prop_assert!(pool.conserves_pages(), "conservation violated after {:?}", op);
+            prop_assert!(pool.used_pages() + pool.free_pages() == pool.total_pages());
+        }
+    }
+
+    /// The page budget is a hard cap: a session can never grow the pool
+    /// past its capacity, however the demand is split across sessions.
+    #[test]
+    fn pool_capacity_is_never_exceeded(
+        total in 1usize..16,
+        demands in vec((0u32..6, 1usize..8), 1..12),
+    ) {
+        let mut pool = KvPageAllocator::new(total, 32).unwrap();
+        for (session, pages) in demands {
+            let target = pool.session_pages(session) + pages;
+            let _ = pool.grow(session, target, (1, 1, session));
+            prop_assert!(pool.used_pages() <= total);
+            prop_assert!(pool.conserves_pages());
+        }
+    }
+
+    /// Sizing arithmetic: `pages_for` is exact ceil division, and a
+    /// session holding `bytes` wastes less than one page of frame space.
+    #[test]
+    fn pages_for_is_ceil_division(bytes in 0u64..100_000, page in 1u64..5000) {
+        let pool = KvPageAllocator::new(4, page).unwrap();
+        let pages = pool.pages_for(bytes) as u64;
+        prop_assert!(pages * page >= bytes);
+        prop_assert!(pages * page < bytes + page, "over-allocated: {} pages of {}", pages, page);
+    }
+
+    /// LRU ordering: the victim page always belongs to the session with
+    /// the minimal touch key among the candidates.
+    #[test]
+    fn lru_victim_is_the_stalest_candidate(
+        ticks in vec(0u64..50, 2..6),
+    ) {
+        let mut pool = KvPageAllocator::new(32, 16).unwrap();
+        for (i, &tick) in ticks.iter().enumerate() {
+            let s = i as u32;
+            pool.grow(s, 2, (tick, i as u64, s)).unwrap();
+        }
+        let (_, owner) = pool.lru_page(|_| true).unwrap();
+        let min = (0..ticks.len())
+            .min_by_key(|&i| (ticks[i], i))
+            .unwrap() as u32;
+        prop_assert_eq!(owner, min);
+    }
+}
+
+/// Whole-pool exhaustion reporting: the error names the shortfall and the
+/// failed grow leaves prior ownership intact.
+#[test]
+fn exhaustion_error_is_clean() {
+    let mut pool = KvPageAllocator::new(3, 64).unwrap();
+    pool.grow(1, 2, (1, 1, 1)).unwrap();
+    let err = pool.grow(2, 2, (1, 2, 2)).unwrap_err();
+    assert!(err.to_string().contains("pages"), "unhelpful error: {err}");
+    assert_eq!(pool.session_pages(1), 2);
+    assert_eq!(pool.session_pages(2), 0);
+    assert_eq!(pool.free_pages(), 1);
+    assert!(pool.conserves_pages());
+}

@@ -6,7 +6,7 @@
 mod common;
 
 use common::requests_from_seed;
-use meadow::core::serve::{serve, KvPolicy, ServeConfig};
+use meadow::core::serve::{serve, AdmissionPolicy, KvPolicy, ServeConfig};
 use meadow::core::{EngineConfig, MeadowEngine};
 use meadow::models::presets;
 use meadow::packing::chunk::{decompose, decompose_with, ChunkConfig};
@@ -126,20 +126,30 @@ proptest! {
     /// The serving simulator fans per-step measurements out on the engine's
     /// worker pool; the resulting `ServeReport` (including its serialized
     /// bytes, which the golden test pins) must be bit-identical across
-    /// thread counts.
+    /// thread counts — for whole-cache and paged eviction, queueing and
+    /// load-shedding admission alike.
     #[test]
     fn serve_report_is_bit_identical_across_threads(
         seed in 0u64..500,
         n in 1usize..5,
         constrained in any::<bool>(),
-        lru in any::<bool>(),
+        policy_idx in 0u8..3,
+        shed in any::<bool>(),
     ) {
         let model = presets::tiny_decoder();
         // Arrivals staggered at tick scale (tens of µs on the tiny model)
         // so the batched path is genuinely exercised.
         let trace = requests_from_seed(seed, n, 20, 6, 0.01);
         let mut config = ServeConfig::default()
-            .with_policy(if lru { KvPolicy::Lru } else { KvPolicy::Fifo });
+            .with_policy(match policy_idx % 3 {
+                0 => KvPolicy::Fifo,
+                1 => KvPolicy::Lru,
+                _ => KvPolicy::PagedLru,
+            })
+            .with_page_bytes(256);
+        if shed {
+            config = config.with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 0.2 });
+        }
         if constrained {
             let single_max =
                 trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap();

@@ -12,24 +12,21 @@
 //! MEADOW_UPDATE_GOLDEN=1 cargo test --test serve_golden
 //! ```
 
-use meadow::core::serve::{serve, KvPolicy, ServeConfig};
+use meadow::core::serve::{serve, AdmissionPolicy, KvPolicy, ServeConfig};
 use meadow::core::{EngineConfig, MeadowEngine};
 use meadow::models::presets;
 use meadow::models::workload::{ArrivalTrace, ServeRequest};
 use std::path::PathBuf;
 
-fn golden_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_zcu102.json")
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
 }
 
-/// The pinned scenario: 8 staggered requests with ragged prompt/generation
-/// lengths, a budget sized to force evictions, and a batch cap so the
-/// scheduler exercises idle-resident sessions.
-fn golden_report() -> String {
-    let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
-    // Arrival spacing is on the scale of a tick (tens of µs on the tiny
-    // model) so sessions genuinely overlap.
-    let trace = ArrivalTrace::new(vec![
+/// The pinned arrival set: 8 staggered requests with ragged
+/// prompt/generation lengths; arrival spacing is on the scale of a tick
+/// (tens of µs on the tiny model) so sessions genuinely overlap.
+fn golden_trace() -> ArrivalTrace {
+    ArrivalTrace::new(vec![
         ServeRequest::new(0, 0.0, 16, 8),
         ServeRequest::new(1, 0.0, 24, 4),
         ServeRequest::new(2, 0.01, 8, 6),
@@ -38,21 +35,46 @@ fn golden_report() -> String {
         ServeRequest::new(5, 0.03, 12, 5),
         ServeRequest::new(6, 0.05, 20, 3),
         ServeRequest::new(7, 0.08, 6, 7),
-    ]);
+    ])
+}
+
+/// The whole-cache scenario: a budget sized to force evictions and a batch
+/// cap so the scheduler exercises idle-resident sessions.
+fn golden_report() -> String {
+    let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
     let model = presets::tiny_decoder();
     // Room for ~2 peak sessions: admission, eviction and reload all fire.
     let budget = 2 * ServeRequest::new(0, 0.0, 31, 2).peak_kv_bytes(&model);
     let config =
         ServeConfig::default().with_budget(budget).with_policy(KvPolicy::Fifo).with_max_batch(4);
-    let report = serve(&engine, &trace, &config).unwrap();
+    let report = serve(&engine, &golden_trace(), &config).unwrap();
     assert!(report.total_evictions > 0, "the golden scenario must exercise eviction");
     report.to_json().unwrap() + "\n"
 }
 
-#[test]
-fn serve_report_is_byte_stable() {
-    let got = golden_report();
-    let path = golden_path();
+/// The paged scenario: same trace under `PagedLru` with small pages, a
+/// tighter budget and SLO-aware admission, so page spills, faults,
+/// fragmentation accounting and rejection all land in the snapshot.
+fn golden_paged_report() -> String {
+    let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
+    let model = presets::tiny_decoder();
+    // 1.5 peak sessions of room: page spills, faults, fragmentation and at
+    // least one SLO rejection all fire on this trace.
+    let budget = 3 * ServeRequest::new(0, 0.0, 31, 2).peak_kv_bytes(&model) / 2;
+    let config = ServeConfig::default()
+        .with_budget(budget)
+        .with_policy(KvPolicy::PagedLru)
+        .with_page_bytes(256)
+        .with_max_batch(4)
+        .with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 0.4 });
+    let report = serve(&engine, &golden_trace(), &config).unwrap();
+    assert!(report.total_page_spills > 0, "the paged scenario must peel pages");
+    assert!(report.rejected_requests > 0, "the paged scenario must shed load");
+    report.to_json().unwrap() + "\n"
+}
+
+fn assert_byte_stable(name: &str, got: String) {
+    let path = golden_path(name);
     if std::env::var_os("MEADOW_UPDATE_GOLDEN").is_some() {
         std::fs::write(&path, &got).unwrap();
         eprintln!("regenerated {}", path.display());
@@ -62,7 +84,17 @@ fn serve_report_is_byte_stable() {
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     assert_eq!(
         got, want,
-        "ServeReport diverged from the committed snapshot; if the change is \
+        "ServeReport diverged from the committed snapshot {name}; if the change is \
          intentional, regenerate with MEADOW_UPDATE_GOLDEN=1 cargo test --test serve_golden"
     );
+}
+
+#[test]
+fn serve_report_is_byte_stable() {
+    assert_byte_stable("serve_zcu102.json", golden_report());
+}
+
+#[test]
+fn paged_serve_report_is_byte_stable() {
+    assert_byte_stable("serve_paged_zcu102.json", golden_paged_report());
 }
