@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Times the tiled INT8 GEMM, packing chunk decomposition, functional batch
-//! forward and continuous-batching serve simulator serial vs parallel
+//! forward, continuous-batching serve simulator and multi-chip cluster
+//! serve serial vs parallel
 //! (warmup + N trials, median/p95), emits a schema-versioned
 //! `BENCH_<id>.json`, and — in `--compare` mode — exits nonzero on a
 //! regression past `--max-regress` percent. `--gate absolute` (default)

@@ -41,6 +41,7 @@ const GENERATORS: &[(&str, Generator)] = &[
     ("lossless", figs_packing::lossless),
     ("serve", figs_serve::serve_artifact),
     ("serve_paged", figs_serve::serve_paged_artifact),
+    ("serve_cluster", figs_serve::serve_cluster_artifact),
     ("ablation_chunk", ablations::ablation_chunk),
     ("ablation_payload", ablations::ablation_payload),
     ("ablation_parallelism", ablations::ablation_parallelism),

@@ -1,11 +1,17 @@
 //! Serving artifacts: multi-session continuous batching on the ZCU102
-//! under KV-cache budgets — `serve` (whole-cache FIFO/LRU budget sweep)
-//! and `serve_paged` (paged vs whole-cache eviction on an open-loop
-//! Poisson/Zipf workload, with SLO-aware admission). Not paper figures;
-//! see the ROADMAP's serving north star.
+//! under KV-cache budgets — `serve` (whole-cache FIFO/LRU budget sweep),
+//! `serve_paged` (paged vs whole-cache eviction on an open-loop
+//! Poisson/Zipf workload, with SLO-aware admission) and `serve_cluster`
+//! (session-pool sharding across simulated chips: placement policies and
+//! NoC-charged cross-chip KV migration). Not paper figures; see the
+//! ROADMAP's serving north star.
 
 use crate::{Artifact, ReproContext};
 use meadow_core::baselines::Baseline;
+use meadow_core::cluster::{
+    Cluster, ClusterConfig, ClusterReport, LeastLoadedKv, RoundRobin, SessionAffinity,
+    ToLeastLoaded,
+};
 use meadow_core::report::{fmt_ms, Table};
 use meadow_core::serve::{serve, AdmissionPolicy, KvPolicy, ServeConfig};
 use meadow_core::CoreError;
@@ -223,6 +229,151 @@ pub fn serve_paged_artifact(ctx: &ReproContext) -> Result<Artifact, CoreError> {
     })
 }
 
+/// The `serve_cluster` workload: 24 open-loop requests (Poisson 60 req/s,
+/// Zipf lengths) from 5 sticky "users" (affinity hints `id % 5` — the
+/// multi-turn conversations [`SessionAffinity`] keeps chip-local), plus
+/// the per-chip KV budget the comparison runs under: a sixth of total
+/// demand (but always one full session), so affinity-skewed chips overflow
+/// while balanced ones keep headroom.
+pub fn serve_cluster_workload() -> (ArrivalTrace, u64) {
+    let model = presets::opt_125m();
+    let lengths = ZipfLengths {
+        prompt_min: 16,
+        prompt_max: 256,
+        generate_min: 16,
+        generate_max: 192,
+        exponent: 1.1,
+    };
+    let mut trace = ArrivalTrace::open_loop(24, 60.0, &lengths, &mut StdRng::seed_from_u64(4242))
+        .expect("workload parameters are valid");
+    for r in &mut trace.requests {
+        *r = r.with_affinity(r.id % 5);
+    }
+    let total_peak = trace.total_peak_kv_bytes(&model);
+    let single_max = trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap_or(0);
+    let budget = (total_peak / 6).max(single_max);
+    (trace, budget)
+}
+
+/// Runs the cluster workload under one `(chips, placement, migration)`
+/// combination. `placement` is one of the builder names
+/// (`"round-robin"`, `"least-loaded-kv"`, `"session-affinity"`).
+fn run_cluster(
+    ctx: &ReproContext,
+    trace: &ArrivalTrace,
+    budget: u64,
+    chips: usize,
+    placement: &str,
+    migrate: bool,
+) -> Result<ClusterReport, CoreError> {
+    let model = presets::opt_125m();
+    let engine = ctx.engine(Baseline::Meadow, &model, 12.0)?;
+    let serve_config = ServeConfig::default()
+        .with_budget(budget)
+        .with_policy(KvPolicy::PagedLru)
+        .with_page_bytes(64 << 10)
+        .with_max_batch(2);
+    let builder = ClusterConfig::builder().chips(chips).serve(serve_config);
+    let builder = match placement {
+        "round-robin" => builder.placement(RoundRobin),
+        "least-loaded-kv" => builder.placement(LeastLoadedKv),
+        _ => builder.placement(SessionAffinity),
+    };
+    let builder = if migrate { builder.migration(ToLeastLoaded) } else { builder };
+    let config = builder.build().map_err(CoreError::from)?;
+    Cluster::new(engine, config).serve(trace)
+}
+
+/// `serve_cluster`: session-pool sharding across 4 simulated chips —
+/// placement policies (round-robin vs least-loaded vs sticky affinity)
+/// against the single-chip baseline, and NoC-charged cross-chip KV
+/// migration vs DRAM spill under the same per-chip budget.
+///
+/// # Errors
+///
+/// Propagates engine, cluster-construction and serving errors.
+pub fn serve_cluster_artifact(ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let (trace, budget) = serve_cluster_workload();
+    let runs: [(usize, &str, bool); 6] = [
+        (1, "round-robin", false),
+        (4, "round-robin", false),
+        (4, "least-loaded-kv", false),
+        (4, "session-affinity", false),
+        (4, "least-loaded-kv", true),
+        (4, "session-affinity", true),
+    ];
+    let mut table = Table::new([
+        "chips",
+        "placement",
+        "migration",
+        "p50_ms",
+        "p95_ms",
+        "tok_per_s",
+        "evictions",
+        "imbalance",
+        "dram_kv_mb",
+        "migrated_mb",
+        "noc_link_mb",
+    ]);
+    let mut single_p95 = 0.0f64;
+    let mut sharded_p95 = f64::INFINITY;
+    let mut affinity_spill = (0u64, 0u64); // (no migration, migration)
+    let mut affinity_migrated = 0u64;
+    for (chips, placement, migrate) in runs {
+        let report = run_cluster(ctx, &trace, budget, chips, placement, migrate)?;
+        if chips == 1 {
+            single_p95 = report.p95_latency_ms;
+        } else if !migrate {
+            sharded_p95 = sharded_p95.min(report.p95_latency_ms);
+        }
+        if placement == "session-affinity" {
+            if migrate {
+                affinity_spill.1 = report.dram_kv_bytes;
+                affinity_migrated = report.migrated_out_bytes;
+            } else {
+                affinity_spill.0 = report.dram_kv_bytes;
+            }
+        }
+        let evictions: u64 = report.per_chip.iter().map(|c| c.report.total_evictions).sum();
+        table.row([
+            chips.to_string(),
+            report.placement.clone(),
+            report.migration.clone(),
+            fmt_ms(report.p50_latency_ms),
+            fmt_ms(report.p95_latency_ms),
+            format!("{:.1}", report.tokens_per_sec),
+            evictions.to_string(),
+            format!("{:.2}", report.kv_imbalance),
+            format!("{:.2}", report.dram_kv_bytes as f64 / MB),
+            format!("{:.2}", report.migrated_out_bytes as f64 / MB),
+            format!("{:.2}", report.noc_link_bytes as f64 / MB),
+        ]);
+    }
+    Ok(Artifact {
+        id: "serve_cluster",
+        paper_claim: "beyond the paper: EdgeProfiler-style multi-chip serving — sharding the session pool relieves the per-chip KV budget, and NoC migration to underloaded chips replaces DRAM spill",
+        table,
+        notes: vec![
+            format!(
+                "24 open-loop requests (Poisson 60 req/s, Zipf lengths, 5 sticky users), OPT-125M @ 12 Gbps, per-chip budget {:.1} MB, 64 KiB pages",
+                budget as f64 / MB
+            ),
+            format!(
+                "p95 latency: 1 chip {:.1} ms vs best 4-chip placement {:.1} ms ({:.1}x)",
+                single_p95,
+                sharded_p95,
+                if sharded_p95 > 0.0 { single_p95 / sharded_p95 } else { f64::INFINITY }
+            ),
+            format!(
+                "sticky-affinity DRAM KV traffic (spill+reload): {:.2} MB without migration vs {:.2} MB with ({:.2} MB rerouted over the NoC)",
+                affinity_spill.0 as f64 / MB,
+                affinity_spill.1 as f64 / MB,
+                affinity_migrated as f64 / MB
+            ),
+        ],
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +400,47 @@ mod tests {
         let csv = artifact.table.to_csv();
         assert!(csv.starts_with("policy,admission,"));
         assert!(csv.contains("PagedLru") && csv.contains("queue"));
+    }
+
+    #[test]
+    fn serve_cluster_artifact_generates() {
+        let ctx = ReproContext::new();
+        let artifact = serve_cluster_artifact(&ctx).unwrap();
+        assert_eq!(artifact.id, "serve_cluster");
+        assert_eq!(artifact.table.len(), 6);
+        let csv = artifact.table.to_csv();
+        assert!(csv.starts_with("chips,placement,"));
+        assert!(csv.contains("least-loaded-kv") && csv.contains("session-affinity"));
+    }
+
+    /// Acceptance criterion: sharding the pool across 4 chips relieves the
+    /// per-chip budget (lower tail latency than one chip under the same
+    /// budget), and under sticky-affinity placement NoC migration strictly
+    /// reduces the DRAM KV spill.
+    #[test]
+    fn sharding_and_migration_pay_off_on_the_cluster_workload() {
+        let ctx = ReproContext::new();
+        let (trace, budget) = serve_cluster_workload();
+        let single = run_cluster(&ctx, &trace, budget, 1, "round-robin", false).unwrap();
+        let sharded = run_cluster(&ctx, &trace, budget, 4, "least-loaded-kv", false).unwrap();
+        assert!(
+            sharded.p95_latency_ms < single.p95_latency_ms,
+            "sharded p95 {} !< single-chip p95 {}",
+            sharded.p95_latency_ms,
+            single.p95_latency_ms
+        );
+        let sticky = run_cluster(&ctx, &trace, budget, 4, "session-affinity", false).unwrap();
+        let migrated = run_cluster(&ctx, &trace, budget, 4, "session-affinity", true).unwrap();
+        assert!(sticky.dram_kv_bytes > 0, "the workload must spill under affinity skew");
+        assert!(migrated.migrated_out_bytes > 0, "migration must fire");
+        assert!(
+            migrated.dram_kv_bytes < sticky.dram_kv_bytes,
+            "migration spill {} !< no-migration spill {}",
+            migrated.dram_kv_bytes,
+            sticky.dram_kv_bytes
+        );
+        // Both serve every token either way.
+        assert_eq!(migrated.total_generated_tokens, sticky.total_generated_tokens);
     }
 
     /// Acceptance criterion: on the `serve_paged` workload, page-granular

@@ -3,9 +3,9 @@
 //! The Criterion harnesses under `benches/` are for interactive
 //! exploration; this module is the *regression* surface. It times the
 //! workspace's hot paths — tiled INT8 GEMM, packing chunk decomposition,
-//! the functional batch forward, and the continuous-batching serving
-//! simulator (whole-cache and paged eviction) — serial vs parallel, with
-//! warmup and a fixed number of
+//! the functional batch forward, the continuous-batching serving
+//! simulator (whole-cache and paged eviction) and the multi-chip cluster
+//! serve — serial vs parallel, with warmup and a fixed number of
 //! trials, and reports median/p95/min/mean per variant as a
 //! schema-versioned [`BenchReport`] that serializes to `BENCH_<id>.json`.
 //!
@@ -17,6 +17,7 @@
 //! [`find_regressions`] gate remains available via `perfbench --gate
 //! absolute` for same-machine comparisons.
 
+use meadow_core::cluster::{Cluster, ClusterConfig, SessionAffinity, ToLeastLoaded};
 use meadow_core::serve::{serve, KvPolicy, ServeConfig};
 use meadow_core::{EngineConfig, MeadowEngine};
 use meadow_dataflow::forward::{batch_model_forward, model_forward, ForwardMode, ForwardScales};
@@ -274,6 +275,47 @@ fn serve_paged_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     named_case(format!("serve_paged_{requests}x{generate}"), serial, parallel)
 }
 
+fn serve_cluster_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (requests, generate) = if opts.quick { (6, 5) } else { (12, 8) };
+    let model = presets::tiny_decoder();
+    // A 3-chip cluster with sticky-affinity skew and NoC migration: the
+    // per-chip serving loops fan out on the engine's worker pool (the axis
+    // the parallel variant accelerates), and the placement/migration
+    // machinery itself is the overhead this case guards.
+    let mut trace = ArrivalTrace::uniform(requests, 0.01, 16, generate);
+    for r in &mut trace.requests {
+        *r = r.with_affinity(r.id % 2);
+    }
+    let budget = (2 * trace.total_peak_kv_bytes(&model) / (3 * requests as u64))
+        .max(trace.requests[0].peak_kv_bytes(&model));
+    let serve_config = ServeConfig::default()
+        .with_budget(budget)
+        .with_policy(KvPolicy::PagedLru)
+        .with_page_bytes(256)
+        .with_max_batch(2);
+    let cluster_for = |exec: ExecConfig| {
+        let engine = MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0).with_exec(exec))
+            .expect("valid engine");
+        let config = ClusterConfig::builder()
+            .chips(3)
+            .serve(serve_config)
+            .placement(SessionAffinity)
+            .migration(ToLeastLoaded)
+            .build()
+            .expect("valid cluster config");
+        Cluster::new(engine, config)
+    };
+    let serial_cluster = cluster_for(ExecConfig::serial());
+    let parallel_cluster = cluster_for(*exec);
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(serial_cluster.serve(&trace).expect("serve succeeds"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(parallel_cluster.serve(&trace).expect("serve succeeds"));
+    });
+    named_case(format!("serve_cluster_3x{requests}x{generate}"), serial, parallel)
+}
+
 fn named_case(name: String, serial: TimingStats, parallel: TimingStats) -> BenchCase {
     let speedup =
         if parallel.median_ms > 0.0 { serial.median_ms / parallel.median_ms } else { 0.0 };
@@ -289,6 +331,7 @@ pub fn run_suite(bench_id: &str, opts: &PerfOptions) -> BenchReport {
         forward_case(opts, &exec),
         serve_case(opts, &exec),
         serve_paged_case(opts, &exec),
+        serve_cluster_case(opts, &exec),
     ];
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -439,7 +482,7 @@ mod tests {
     fn suite_emits_versioned_round_trippable_json() {
         let report = run_suite("test", &quick_opts());
         assert_eq!(report.schema_version, SCHEMA_VERSION);
-        assert_eq!(report.cases.len(), 5);
+        assert_eq!(report.cases.len(), 6);
         assert!(report.cases.iter().all(|c| c.speedup > 0.0));
         assert_eq!(report.file_name(), "BENCH_test.json");
         let json = report.to_json().unwrap();
@@ -459,7 +502,7 @@ mod tests {
         assert_eq!(tree.get("threads").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(tree.get("quick").and_then(|v| v.as_bool()), Some(true));
         let cases = tree.get("cases").and_then(|v| v.as_seq()).unwrap();
-        assert_eq!(cases.len(), 5);
+        assert_eq!(cases.len(), 6);
         for case in cases {
             assert!(case.get("name").and_then(|v| v.as_str()).is_some());
             for variant in ["serial", "parallel"] {

@@ -185,6 +185,15 @@ impl MeadowEngine {
         &self.config
     }
 
+    /// The same engine with a different host-side execution policy —
+    /// measurements are bit-identical for any thread count, so this only
+    /// changes how the engine's internal fan-outs are scheduled (the
+    /// cluster layer uses it to split one thread budget among chips).
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
     /// Precomputed packing statistics, if the plan packs weights.
     pub fn packing_stats(&self) -> Option<&ModelPackingStats> {
         self.packing_stats.as_ref()

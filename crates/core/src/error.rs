@@ -1,5 +1,6 @@
 //! Error type for the framework layer.
 
+use crate::serve::ServeError;
 use meadow_dataflow::DataflowError;
 use meadow_models::ModelError;
 use meadow_packing::PackingError;
@@ -19,6 +20,9 @@ pub enum CoreError {
     Sim(SimError),
     /// Propagated packing error.
     Packing(PackingError),
+    /// A serving or cluster configuration is invalid (typed, so callers
+    /// can match the exact rejection instead of parsing a message).
+    Serve(ServeError),
     /// An engine configuration is invalid.
     InvalidConfig {
         /// Parameter name.
@@ -35,6 +39,7 @@ impl fmt::Display for CoreError {
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::Sim(e) => write!(f, "hardware error: {e}"),
             CoreError::Packing(e) => write!(f, "packing error: {e}"),
+            CoreError::Serve(e) => write!(f, "serving error: {e}"),
             CoreError::InvalidConfig { param, reason } => {
                 write!(f, "invalid engine config `{param}`: {reason}")
             }
@@ -49,6 +54,7 @@ impl Error for CoreError {
             CoreError::Model(e) => Some(e),
             CoreError::Sim(e) => Some(e),
             CoreError::Packing(e) => Some(e),
+            CoreError::Serve(e) => Some(e),
             CoreError::InvalidConfig { .. } => None,
         }
     }
@@ -78,6 +84,12 @@ impl From<PackingError> for CoreError {
     }
 }
 
+impl From<ServeError> for CoreError {
+    fn from(e: ServeError) -> Self {
+        CoreError::Serve(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +102,9 @@ mod tests {
         assert!(!e.to_string().is_empty());
         let e = CoreError::InvalidConfig { param: "bw", reason: "zero".into() };
         assert!(e.source().is_none());
+        let e: CoreError = ServeError::ZeroMaxBatch.into();
+        assert_eq!(e, CoreError::Serve(ServeError::ZeroMaxBatch));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("serving error"));
     }
 }

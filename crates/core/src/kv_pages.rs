@@ -28,7 +28,11 @@
 //! `ServeReport::peak_kv_bytes <= budget` holds exactly); the allocator is
 //! the source of truth for page identity, occupancy and fragmentation. Its
 //! conservation invariant — every page is either free or in exactly one
-//! page table — is property-tested in `tests/kv_paging.rs`.
+//! page table — is property-tested in `tests/kv_paging.rs`. Under the
+//! cluster API ([`crate::cluster`]) every
+//! [`ChipNode`](crate::cluster::ChipNode) materializes its own pool per
+//! serving run, and evicted pages may migrate to a remote chip's pool
+//! over the NoC instead of spilling to DRAM.
 //!
 //! # Examples
 //!

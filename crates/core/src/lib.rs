@@ -15,6 +15,11 @@
 //!   of many requests on one engine under an explicit KV-cache memory
 //!   budget with FIFO/LRU whole-cache eviction or paged (vLLM-style)
 //!   eviction, plus SLO-aware admission.
+//! * [`cluster`] — the cluster serving API: shard the session pool across
+//!   N simulated chips behind one arrival stream, with pluggable
+//!   [`PlacementPolicy`] routing, per-chip page pools, and
+//!   [`MigrationPolicy`]-driven cross-chip KV migration charged on the
+//!   NoC model.
 //! * [`kv_pages`] — the paged KV-cache allocator behind
 //!   [`serve::KvPolicy::PagedLru`]: fixed-size pages, a free list,
 //!   per-session page tables and page-LRU victim metadata.
@@ -29,6 +34,7 @@
 
 pub mod accuracy;
 pub mod baselines;
+pub mod cluster;
 pub mod engine;
 pub mod error;
 pub mod kv_pages;
@@ -39,7 +45,11 @@ pub mod serve;
 pub mod session;
 pub mod vit;
 
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterReport, LeastLoadedKv, MigrationPolicy, NoMigration,
+    PlacementPolicy, RoundRobin, SessionAffinity, ToLeastLoaded,
+};
 pub use engine::{EngineConfig, LatencyReport, MeadowEngine};
 pub use error::CoreError;
 pub use kv_pages::KvPageAllocator;
-pub use serve::{AdmissionPolicy, KvPolicy, ServeConfig, ServeReport, ServeTrace};
+pub use serve::{AdmissionPolicy, KvPolicy, ServeConfig, ServeError, ServeReport, ServeTrace};

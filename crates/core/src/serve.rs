@@ -70,6 +70,7 @@
 //! # }
 //! ```
 
+use crate::cluster::{Cluster, MigrationCtx};
 use crate::engine::{LatencyReport, MeadowEngine};
 use crate::error::CoreError;
 use crate::kv_pages::KvPageAllocator;
@@ -77,10 +78,76 @@ use meadow_dataflow::pipeline::flow_shop_completion_times;
 use meadow_dataflow::LayerLatency;
 use meadow_models::workload::{kv_cache_total_bytes, ArrivalTrace, ServeRequest};
 use meadow_models::TransformerConfig;
-use meadow_sim::{Cycles, TrafficClass, TrafficLedger};
+use meadow_sim::{Cycles, DramModel, TrafficLedger};
 use meadow_tensor::parallel::par_map;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
+
+/// Typed rejection of an invalid serving or cluster configuration.
+///
+/// Construction-time validation (`ServeConfig::validate`,
+/// `ClusterConfigBuilder::build`) and the serve entry points return these
+/// instead of silently misbehaving, wrapped as
+/// [`CoreError::Serve`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// `max_batch == 0`: the scheduler could never step a session.
+    ZeroMaxBatch,
+    /// [`KvPolicy::PagedLru`] with `page_bytes == 0`: no page to peel.
+    ZeroPageBytes,
+    /// An [`AdmissionPolicy::RejectAfter`] SLO that is not finite and
+    /// non-negative.
+    InvalidSlo {
+        /// The rejected SLO value.
+        ttft_slo_ms: f64,
+    },
+    /// A cluster with no chips to place sessions on.
+    ZeroChips,
+    /// A request whose peak KV cache exceeds the per-chip budget on its
+    /// own — it could never be admitted.
+    RequestExceedsBudget {
+        /// Request identifier.
+        id: u32,
+        /// The request's peak KV-cache bytes.
+        peak_bytes: u64,
+        /// The configured per-chip budget.
+        budget_bytes: u64,
+    },
+    /// A placement policy routed a request to a chip the cluster does not
+    /// have.
+    PlacementOutOfRange {
+        /// The chip index the policy returned.
+        chip: usize,
+        /// The number of chips in the cluster.
+        chips: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ZeroMaxBatch => {
+                write!(f, "max_batch must step at least one session per tick")
+            }
+            ServeError::ZeroPageBytes => write!(f, "PagedLru needs a non-zero page size"),
+            ServeError::InvalidSlo { ttft_slo_ms } => {
+                write!(f, "ttft_slo_ms must be finite and non-negative, got {ttft_slo_ms}")
+            }
+            ServeError::ZeroChips => write!(f, "a cluster needs at least one chip"),
+            ServeError::RequestExceedsBudget { id, peak_bytes, budget_bytes } => write!(
+                f,
+                "request {id} needs {peak_bytes} KV bytes alone, per-chip budget is {budget_bytes}"
+            ),
+            ServeError::PlacementOutOfRange { chip, chips } => {
+                write!(f, "placement routed a request to chip {chip} of a {chips}-chip cluster")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Eviction policy for the serving KV-cache pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -177,6 +244,32 @@ impl ServeConfig {
     /// size.
     pub fn with_page_bytes(self, page_bytes: u64) -> Self {
         Self { page_bytes, ..self }
+    }
+
+    /// Construction-time validation: rejects a zero `max_batch`, a zero
+    /// `page_bytes` under [`KvPolicy::PagedLru`], and a non-finite or
+    /// negative [`AdmissionPolicy::RejectAfter`] SLO with a typed
+    /// [`ServeError`]. [`serve`] and the cluster builder
+    /// (`ClusterConfigBuilder::build`) both call this, so a bad
+    /// configuration fails loudly at the seam instead of misbehaving
+    /// mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ServeError`] the configuration violates.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::ZeroMaxBatch);
+        }
+        if self.policy == KvPolicy::PagedLru && self.page_bytes == 0 {
+            return Err(ServeError::ZeroPageBytes);
+        }
+        if let AdmissionPolicy::RejectAfter { ttft_slo_ms } = self.admission {
+            if !ttft_slo_ms.is_finite() || ttft_slo_ms < 0.0 {
+                return Err(ServeError::InvalidSlo { ttft_slo_ms });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -276,7 +369,8 @@ pub struct ServeReport {
     /// whole-cache policies).
     pub kv_frag_peak_bytes: u64,
     /// DRAM traffic of the whole run: per-step fetch/compute/store classes
-    /// plus serving-level [`TrafficClass::KvCache`] migration.
+    /// plus serving-level
+    /// [`TrafficClass::KvCache`](meadow_sim::TrafficClass) migration.
     pub ledger: TrafficLedger,
     /// Per-request traces, in the input trace's request order.
     pub traces: Vec<ServeTrace>,
@@ -390,7 +484,7 @@ impl Session {
 }
 
 /// Nearest-rank percentile of a sorted sample (0 for an empty one).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -398,56 +492,97 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx - 1]
 }
 
+/// Charges one KV-cache spill, preferring cross-chip migration when a
+/// cluster [`MigrationCtx`] accepts the bytes and falling back to the
+/// chip's DRAM channel ([`DramModel::transfer_kv_cache`]) otherwise. With
+/// no migration context this is exactly the single-chip spill arithmetic.
+fn charge_spill(
+    dram: &mut DramModel,
+    migration: &mut Option<&mut MigrationCtx<'_>>,
+    session: u32,
+    bytes: u64,
+    granularity: Option<u64>,
+) -> Cycles {
+    if let Some(ctx) = migration.as_deref_mut() {
+        if let Some(cycles) = ctx.park(session, bytes) {
+            return cycles;
+        }
+    }
+    dram.transfer_kv_cache(bytes, granularity)
+}
+
+/// Charges one KV-cache reload: bytes parked on a remote chip come back
+/// over the cluster NoC first, the rest from DRAM.
+fn charge_reload(
+    dram: &mut DramModel,
+    migration: &mut Option<&mut MigrationCtx<'_>>,
+    session: u32,
+    bytes: u64,
+    granularity: Option<u64>,
+) -> Cycles {
+    let mut cycles = Cycles::ZERO;
+    let mut rest = bytes;
+    if let Some(ctx) = migration.as_deref_mut() {
+        let (noc_cycles, pulled) = ctx.pull_back(session, bytes);
+        cycles += noc_cycles;
+        rest -= pulled;
+    }
+    if rest > 0 {
+        cycles += dram.transfer_kv_cache(rest, granularity);
+    }
+    cycles
+}
+
 /// Runs an arrival trace through the engine under a continuous-batching
 /// scheduler, returning the aggregate report. See the module docs for the
 /// scheduling and KV-accounting model.
 ///
+/// This is the single-chip special case of the cluster serving API: it
+/// wraps [`Cluster::serve`](crate::cluster::Cluster::serve) around a
+/// one-chip cluster with round-robin placement and no migration, which
+/// reproduces the pre-cluster scheduler bit-exactly (the
+/// `tests/cluster_invariants.rs` contract).
+///
 /// # Errors
 ///
-/// Returns [`CoreError::InvalidConfig`] when `max_batch` is zero, any
-/// request's peak KV cache exceeds the budget on its own (such a request
-/// could never run), `page_bytes` is zero under [`KvPolicy::PagedLru`], or
-/// an [`AdmissionPolicy::RejectAfter`] SLO is not finite and non-negative;
-/// propagates request-validation and measurement errors.
+/// Returns [`CoreError::Serve`] when the configuration is invalid
+/// ([`ServeConfig::validate`]) or any request's peak KV cache exceeds the
+/// budget on its own (such a request could never run); propagates
+/// request-validation and measurement errors.
 pub fn serve(
     engine: &MeadowEngine,
     trace: &ArrivalTrace,
     config: &ServeConfig,
 ) -> Result<ServeReport, CoreError> {
+    let cluster = Cluster::single_chip(engine.clone(), *config)?;
+    let mut report = cluster.serve(trace)?;
+    Ok(report.per_chip.remove(0).report)
+}
+
+/// The per-chip serving loop shared by [`serve`] and
+/// [`Cluster::serve`](crate::cluster::Cluster::serve): runs `trace` on one
+/// engine, optionally parking spilled KV bytes on remote chips through a
+/// cluster [`MigrationCtx`] instead of DRAM.
+pub(crate) fn serve_on_chip(
+    engine: &MeadowEngine,
+    trace: &ArrivalTrace,
+    config: &ServeConfig,
+    mut migration: Option<&mut MigrationCtx<'_>>,
+) -> Result<ServeReport, CoreError> {
     let model = &engine.config().model;
     trace.validate(model)?;
-    if config.max_batch == 0 {
-        return Err(CoreError::InvalidConfig {
-            param: "max_batch",
-            reason: "must step at least one session per tick".into(),
-        });
-    }
+    config.validate()?;
     let paged = config.policy == KvPolicy::PagedLru;
-    if paged && config.page_bytes == 0 {
-        return Err(CoreError::InvalidConfig {
-            param: "page_bytes",
-            reason: "PagedLru needs a non-zero page size".into(),
-        });
-    }
-    if let AdmissionPolicy::RejectAfter { ttft_slo_ms } = config.admission {
-        if !ttft_slo_ms.is_finite() || ttft_slo_ms < 0.0 {
-            return Err(CoreError::InvalidConfig {
-                param: "ttft_slo_ms",
-                reason: format!("must be finite and non-negative, got {ttft_slo_ms}"),
-            });
-        }
-    }
     if let Some(budget) = config.kv_budget_bytes {
         for r in &trace.requests {
             let peak = r.peak_kv_bytes(model);
             if peak > budget {
-                return Err(CoreError::InvalidConfig {
-                    param: "kv_budget_bytes",
-                    reason: format!(
-                        "request {} needs {peak} KV bytes alone, budget is {budget}",
-                        r.id
-                    ),
-                });
+                return Err(ServeError::RequestExceedsBudget {
+                    id: r.id,
+                    peak_bytes: peak,
+                    budget_bytes: budget,
+                }
+                .into());
             }
         }
     }
@@ -623,7 +758,8 @@ pub fn serve(
                         // (their data never came back on chip).
                         let write = s.loaded_bytes.saturating_sub(tail_start);
                         if write > 0 {
-                            spill_cycles += kv_dram.transfer(TrafficClass::KvCache, write);
+                            spill_cycles +=
+                                charge_spill(&mut kv_dram, &mut migration, owner, write, None);
                             page_spills += 1;
                         }
                         pool.evict_tail(owner);
@@ -667,10 +803,12 @@ pub fn serve(
                             s.evictions += 1;
                         }
                         if s.loaded_bytes > 0 {
-                            spill_cycles += kv_dram.transfer_paged(
-                                TrafficClass::KvCache,
+                            spill_cycles += charge_spill(
+                                &mut kv_dram,
+                                &mut migration,
+                                s.req.id,
                                 s.loaded_bytes,
-                                page_bytes,
+                                Some(page_bytes),
                             );
                             page_spills += pool.pages_for(s.loaded_bytes) as u64;
                         }
@@ -711,7 +849,8 @@ pub fn serve(
                             s.pending_reload_bytes = 0;
                         } else {
                             let bytes = s.resident_kv(model);
-                            spill_cycles += kv_dram.transfer(TrafficClass::KvCache, bytes);
+                            spill_cycles +=
+                                charge_spill(&mut kv_dram, &mut migration, s.req.id, bytes, None);
                             s.spilled_kv_bytes = bytes;
                         }
                     }
@@ -735,10 +874,12 @@ pub fn serve(
                 // tail pages).
                 let fault = existing - s.loaded_bytes;
                 if fault > 0 {
-                    reload_cycles.push(kv_dram.transfer_paged(
-                        TrafficClass::KvCache,
+                    reload_cycles.push(charge_reload(
+                        &mut kv_dram,
+                        &mut migration,
+                        s.req.id,
                         fault,
-                        page_bytes,
+                        Some(page_bytes),
                     ));
                     page_faults += fault.div_ceil(page_bytes);
                     s.loaded_bytes = existing;
@@ -748,7 +889,7 @@ pub fn serve(
             } else {
                 let bytes = std::mem::take(&mut sessions[i].pending_reload_bytes);
                 reload_cycles.push(if bytes > 0 {
-                    kv_dram.transfer(TrafficClass::KvCache, bytes)
+                    charge_reload(&mut kv_dram, &mut migration, sessions[i].req.id, bytes, None)
                 } else {
                     Cycles::ZERO
                 });
@@ -907,6 +1048,7 @@ mod tests {
     use super::*;
     use crate::engine::EngineConfig;
     use meadow_models::presets;
+    use meadow_sim::TrafficClass;
 
     fn engine() -> MeadowEngine {
         MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap()

@@ -152,12 +152,26 @@ pub struct ServeRequest {
     pub prompt_tokens: usize,
     /// Tokens to generate after prefill (at least 1).
     pub generate_tokens: usize,
+    /// Chip-affinity hint for cluster placement: a sticky routing key (e.g.
+    /// the user or conversation a multi-turn request belongs to). Policies
+    /// that honor it (`SessionAffinity`) route equal hints to the same
+    /// chip, `hint % chips`; `None` falls back to hashing the request id.
+    /// Single-chip serving ignores it. Defaults to `None` when absent from
+    /// serialized data, so pre-cluster request JSON still deserializes.
+    #[serde(default)]
+    pub affinity: Option<u32>,
 }
 
 impl ServeRequest {
-    /// Creates a request.
+    /// Creates a request with no chip-affinity hint.
     pub fn new(id: u32, arrival_ms: f64, prompt_tokens: usize, generate_tokens: usize) -> Self {
-        Self { id, arrival_ms, prompt_tokens, generate_tokens }
+        Self { id, arrival_ms, prompt_tokens, generate_tokens, affinity: None }
+    }
+
+    /// The same request carrying a chip-affinity hint for
+    /// affinity-respecting cluster placement.
+    pub fn with_affinity(self, affinity: u32) -> Self {
+        Self { affinity: Some(affinity), ..self }
     }
 
     /// Context length after the last generated token (prompt + generated);
@@ -468,6 +482,31 @@ mod tests {
         let r = ServeRequest::new(3, 1.5, 16, 8);
         assert_eq!(r.final_context_len(), 24);
         assert_eq!(r.peak_kv_bytes(&c), kv_cache_total_bytes(&c, 24));
+    }
+
+    #[test]
+    fn affinity_hint_defaults_off_and_survives_validation() {
+        let c = presets::tiny_decoder();
+        let r = ServeRequest::new(3, 0.0, 16, 8);
+        assert_eq!(r.affinity, None);
+        let sticky = r.with_affinity(7);
+        assert_eq!(sticky.affinity, Some(7));
+        assert_eq!((sticky.id, sticky.prompt_tokens), (3, 16));
+        sticky.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn pre_affinity_request_json_still_deserializes() {
+        // Serialized requests from before the affinity hint existed carry
+        // no `affinity` key; `#[serde(default)]` must fill in `None`.
+        let legacy = r#"{"id":1,"arrival_ms":0.5,"prompt_tokens":4,"generate_tokens":2}"#;
+        let parsed: ServeRequest = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed, ServeRequest::new(1, 0.5, 4, 2));
+        assert_eq!(parsed.affinity, None);
+        // The round trip of a hinted request keeps the hint.
+        let hinted = ServeRequest::new(2, 0.0, 8, 3).with_affinity(9);
+        let json = serde_json::to_string(&hinted).unwrap();
+        assert_eq!(serde_json::from_str::<ServeRequest>(&json).unwrap(), hinted);
     }
 
     #[test]

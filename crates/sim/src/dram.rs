@@ -242,6 +242,20 @@ impl DramModel {
         total
     }
 
+    /// The single funnel for serving-level KV-cache residency migration:
+    /// charges `bytes` under [`TrafficClass::KvCache`], as one whole burst
+    /// (`granularity == None`, the whole-cache spill/reload path) or as
+    /// page-granular chunks (`granularity == Some(page_bytes)`, the paged
+    /// path — see [`DramModel::transfer_paged`]). Routing both eviction
+    /// disciplines through one helper keeps their `KvCache` accounting
+    /// from drifting apart.
+    pub fn transfer_kv_cache(&mut self, bytes: u64, granularity: Option<u64>) -> Cycles {
+        match granularity {
+            Some(page_bytes) => self.transfer_paged(TrafficClass::KvCache, bytes, page_bytes),
+            None => self.transfer(TrafficClass::KvCache, bytes),
+        }
+    }
+
     /// The accumulated traffic ledger.
     pub fn ledger(&self) -> &TrafficLedger {
         &self.ledger
@@ -354,6 +368,25 @@ mod tests {
             b.transfer(TrafficClass::KvCache, 999)
         );
         assert_eq!(a.transfer_paged(TrafficClass::KvCache, 0, 256), Cycles::ZERO);
+    }
+
+    #[test]
+    fn kv_cache_funnel_matches_the_underlying_transfers() {
+        // Whole-burst mode is exactly `transfer(KvCache, ..)`; paged mode
+        // is exactly `transfer_paged(KvCache, .., page)` — cycle for
+        // cycle, byte for byte.
+        let mut funnel = dram(12.0);
+        let mut direct = dram(12.0);
+        assert_eq!(
+            funnel.transfer_kv_cache(1000, None),
+            direct.transfer(TrafficClass::KvCache, 1000)
+        );
+        assert_eq!(
+            funnel.transfer_kv_cache(1000, Some(256)),
+            direct.transfer_paged(TrafficClass::KvCache, 1000, 256)
+        );
+        assert_eq!(funnel.ledger(), direct.ledger());
+        assert_eq!(funnel.ledger().bytes(TrafficClass::KvCache), 2000);
     }
 
     #[test]

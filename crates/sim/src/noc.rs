@@ -83,6 +83,27 @@ impl Noc {
         cycles
     }
 
+    /// Cycles for a store-and-forward transfer of `bytes` across `hops`
+    /// links: each hop's link carries the full payload, so the latency is
+    /// `hops` times the single-link cost. Zero hops (same endpoint) is
+    /// free.
+    pub fn transfer_hops_cycles(&self, bytes: u64, hops: u32) -> Cycles {
+        Cycles(self.transfer_cycles(bytes).get() * u64::from(hops))
+    }
+
+    /// Performs an accounted store-and-forward transfer of `bytes` across
+    /// `hops` links (the cluster serving layer charges cross-chip KV-cache
+    /// migration this way). Every hop's link is charged for the full
+    /// payload, so `total_bytes` grows by `bytes * hops` — the aggregate
+    /// link-level traffic the migration actually put on the interconnect.
+    pub fn transfer_hops(&mut self, bytes: u64, hops: u32) -> Cycles {
+        let mut total = Cycles::ZERO;
+        for _ in 0..hops {
+            total += self.transfer(bytes);
+        }
+        total
+    }
+
     /// Aggregate link-cycles consumed (for utilization checks: the NoC is
     /// saturated when `total_link_cycles / links` approaches the makespan).
     pub fn total_link_cycles(&self) -> u64 {
@@ -145,5 +166,21 @@ mod tests {
     fn invalid_configs_rejected() {
         assert!(Noc::new(NocConfig { link_bytes_per_cycle: 0, links: 4 }).is_err());
         assert!(Noc::new(NocConfig { link_bytes_per_cycle: 8, links: 0 }).is_err());
+    }
+
+    #[test]
+    fn hop_transfers_scale_linearly_and_account_per_link() {
+        let mut noc = Noc::default();
+        // 3 hops of a one-link transfer: 3× the cycles, 3× the link bytes.
+        let one = noc.transfer_cycles(128);
+        assert_eq!(noc.transfer_hops_cycles(128, 3), Cycles(one.get() * 3));
+        assert_eq!(noc.transfer_hops_cycles(128, 0), Cycles::ZERO);
+        let charged = noc.transfer_hops(128, 3);
+        assert_eq!(charged, Cycles(one.get() * 3));
+        assert_eq!(noc.total_bytes(), 3 * 128);
+        assert_eq!(noc.total_link_cycles(), 3 * one.get());
+        // Zero hops moves nothing.
+        assert_eq!(noc.transfer_hops(512, 0), Cycles::ZERO);
+        assert_eq!(noc.total_bytes(), 3 * 128);
     }
 }

@@ -11,9 +11,11 @@
 //! * [`models`] — OPT / DeiT model configs and synthetic calibrated weights.
 //! * [`dataflow`] — GEMM-mode and TPHS executors with latency breakdowns.
 //! * [`core`] — the `MeadowEngine`, dataflow planner, roofline model, the
-//!   CTA / FlightLLM prior-work baselines, and the multi-session serving
-//!   layer (continuous batching, paged KV-cache budgets, SLO-aware
-//!   admission).
+//!   CTA / FlightLLM prior-work baselines, and the serving stack: the
+//!   multi-session simulator (continuous batching, paged KV-cache
+//!   budgets, SLO-aware admission) and the cluster API (`core::cluster`:
+//!   session-pool sharding across simulated chips with pluggable
+//!   placement and NoC-charged migration).
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,306 @@
+//! Property and golden suite for the cluster serving API: single-chip
+//! degeneracy (a 1-chip cluster reproduces `serve` bit-exactly), request
+//! conservation across chips, per-chip budget safety, migration-vs-spill
+//! traffic ordering, `MEADOW_THREADS` bit-identity, and a byte-stable
+//! `ClusterReport` golden snapshot.
+
+mod common;
+
+use common::requests_from_seed;
+use meadow::core::cluster::{
+    Cluster, ClusterConfig, ClusterReport, LeastLoadedKv, RoundRobin, SessionAffinity,
+    ToLeastLoaded,
+};
+use meadow::core::serve::{serve, KvPolicy, ServeConfig};
+use meadow::core::{EngineConfig, MeadowEngine};
+use meadow::models::presets;
+use meadow::models::workload::{ArrivalTrace, ServeRequest};
+use meadow::tensor::parallel::ExecConfig;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn engine() -> MeadowEngine {
+    MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap()
+}
+
+/// Up to 5 requests with ragged lengths and staggered arrivals.
+fn staggered_trace(seed: u64, n: usize) -> ArrivalTrace {
+    requests_from_seed(seed, n, 24, 8, 0.5)
+}
+
+/// A budget between "largest single request" and "everything at once":
+/// exercises admission and eviction without making any request unservable.
+fn contended_budget(trace: &ArrivalTrace) -> u64 {
+    let model = presets::tiny_decoder();
+    let single_max = trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap();
+    single_max + (trace.total_peak_kv_bytes(&model) - single_max) / 4
+}
+
+fn placement_config(idx: u8, chips: usize, serve: ServeConfig) -> ClusterConfig {
+    let builder = ClusterConfig::builder().chips(chips).serve(serve);
+    match idx % 3 {
+        0 => builder.placement(RoundRobin),
+        1 => builder.placement(LeastLoadedKv),
+        _ => builder.placement(SessionAffinity),
+    }
+    .build()
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Acceptance criterion: a 1-chip cluster with round-robin placement
+    /// and no migration reproduces the single-chip `serve` output
+    /// bit-exactly — report and serialized bytes alike.
+    #[test]
+    fn one_chip_cluster_reproduces_serve_bit_exactly(
+        seed in 0u64..500,
+        n in 1usize..6,
+        paged in any::<bool>(),
+    ) {
+        let trace = staggered_trace(seed, n);
+        let mut config = ServeConfig::default()
+            .with_budget(contended_budget(&trace))
+            .with_max_batch(2);
+        if paged {
+            config = config.with_policy(KvPolicy::PagedLru).with_page_bytes(256);
+        }
+        let e = engine();
+        let single = serve(&e, &trace, &config).unwrap();
+        let cluster_config =
+            ClusterConfig::builder().chips(1).serve(config).placement(RoundRobin).build().unwrap();
+        let report = Cluster::new(e, cluster_config).serve(&trace).unwrap();
+        prop_assert_eq!(report.chips, 1);
+        prop_assert_eq!(report.migrated_out_bytes, 0);
+        prop_assert_eq!(&report.per_chip[0].report, &single);
+        prop_assert_eq!(
+            report.per_chip[0].report.to_json().unwrap(),
+            single.to_json().unwrap()
+        );
+    }
+
+    /// Conservation across chips: every request lands on exactly one chip,
+    /// finishes exactly once with the requested token count, and the
+    /// cluster totals are the per-chip sums.
+    #[test]
+    fn requests_are_conserved_across_chips(
+        seed in 0u64..500,
+        n in 1usize..6,
+        chips in 1usize..5,
+        placement_idx in 0u8..3,
+    ) {
+        let trace = staggered_trace(seed, n);
+        let serve_config = ServeConfig::default().with_budget(contended_budget(&trace));
+        let config = placement_config(placement_idx, chips, serve_config);
+        let report = Cluster::new(engine(), config).serve(&trace).unwrap();
+        prop_assert_eq!(report.chips, chips);
+        prop_assert_eq!(report.requests, n);
+        let placed: u64 = report.per_chip.iter().map(|c| c.assigned_requests).sum();
+        prop_assert_eq!(placed as usize, n);
+        // Every id appears exactly once across the chips, fully served.
+        let mut seen: Vec<u32> = Vec::new();
+        for chip in &report.per_chip {
+            prop_assert_eq!(chip.report.traces.len() as u64, chip.assigned_requests);
+            for t in &chip.report.traces {
+                prop_assert!(!seen.contains(&t.id), "request {} served twice", t.id);
+                seen.push(t.id);
+            }
+        }
+        prop_assert_eq!(seen.len(), n);
+        for req in &trace.requests {
+            let t = report.trace(req.id).unwrap();
+            prop_assert_eq!(t.generated_tokens, req.generate_tokens);
+        }
+        let total: u64 = trace.requests.iter().map(|r| r.generate_tokens as u64).sum();
+        prop_assert_eq!(report.total_generated_tokens, total);
+        let chip_tokens: u64 =
+            report.per_chip.iter().map(|c| c.report.total_generated_tokens).sum();
+        prop_assert_eq!(chip_tokens, total);
+    }
+
+    /// Per-chip budget safety: no chip's peak KV residency ever exceeds
+    /// the per-chip budget, under any placement, with or without
+    /// migration (parked remote bytes count against the *donor's* slack,
+    /// which is carved out of its budget headroom).
+    #[test]
+    fn per_chip_budgets_are_never_exceeded(
+        seed in 0u64..500,
+        n in 1usize..6,
+        chips in 1usize..4,
+        placement_idx in 0u8..3,
+        migrate in any::<bool>(),
+    ) {
+        let trace = staggered_trace(seed, n);
+        let budget = contended_budget(&trace);
+        let serve_config = ServeConfig::default()
+            .with_budget(budget)
+            .with_policy(KvPolicy::PagedLru)
+            .with_page_bytes(128);
+        let builder = ClusterConfig::builder().chips(chips).serve(serve_config);
+        let builder = match placement_idx % 3 {
+            0 => builder.placement(RoundRobin),
+            1 => builder.placement(LeastLoadedKv),
+            _ => builder.placement(SessionAffinity),
+        };
+        let config = if migrate { builder.migration(ToLeastLoaded) } else { builder }
+            .build()
+            .unwrap();
+        let report = Cluster::new(engine(), config).serve(&trace).unwrap();
+        for chip in &report.per_chip {
+            prop_assert!(
+                chip.report.peak_kv_bytes <= budget,
+                "chip {} peak {} exceeds budget {}",
+                chip.chip,
+                chip.report.peak_kv_bytes,
+                budget
+            );
+        }
+    }
+
+    /// Acceptance criterion: under `LeastLoadedKv` placement, cross-chip
+    /// migration traffic never exceeds the DRAM spill traffic the same
+    /// cluster produces with migration disabled — migration only ever
+    /// *replaces* spill transfers. Arrivals all land at t=0 so both runs
+    /// make identical scheduling decisions and the byte accounting is
+    /// exactly conserved.
+    #[test]
+    fn migration_traffic_is_bounded_by_spill_traffic(
+        seed in 0u64..500,
+        n in 2usize..6,
+        chips in 2usize..4,
+    ) {
+        let trace = requests_from_seed(seed, n, 24, 8, 0.0);
+        let serve_config = ServeConfig::default()
+            .with_budget(contended_budget(&trace))
+            .with_policy(KvPolicy::PagedLru)
+            .with_page_bytes(256)
+            .with_max_batch(1);
+        let run = |migrate: bool| {
+            let builder =
+                ClusterConfig::builder().chips(chips).serve(serve_config).placement(LeastLoadedKv);
+            let config =
+                if migrate { builder.migration(ToLeastLoaded) } else { builder }.build().unwrap();
+            Cluster::new(engine(), config).serve(&trace).unwrap()
+        };
+        let without = run(false);
+        let with = run(true);
+        prop_assert_eq!(without.migrated_out_bytes, 0);
+        prop_assert!(
+            with.migrated_out_bytes <= without.dram_kv_bytes,
+            "migrated {} exceeds the spill it replaces {}",
+            with.migrated_out_bytes,
+            without.dram_kv_bytes
+        );
+        // Byte conservation: every byte either still spills to DRAM or
+        // moved over the NoC (out at eviction, back at reload).
+        prop_assert_eq!(
+            with.dram_kv_bytes + with.migrated_out_bytes + with.reloaded_remote_bytes,
+            without.dram_kv_bytes
+        );
+        prop_assert_eq!(with.total_generated_tokens, without.total_generated_tokens);
+    }
+
+    /// Acceptance criterion: the `ClusterReport` — including its
+    /// serialized bytes — is bit-identical across `MEADOW_THREADS`
+    /// settings (the per-chip fan-out is order-preserving and each chip's
+    /// simulation is deterministic).
+    #[test]
+    fn cluster_report_is_bit_identical_across_threads(
+        seed in 0u64..200,
+        n in 1usize..5,
+        chips in 1usize..4,
+        migrate in any::<bool>(),
+    ) {
+        let trace = staggered_trace(seed, n);
+        let serve_config = ServeConfig::default()
+            .with_budget(contended_budget(&trace))
+            .with_policy(KvPolicy::PagedLru)
+            .with_page_bytes(256);
+        let build = |threads: usize| {
+            let e = MeadowEngine::new(
+                EngineConfig::zcu102(presets::tiny_decoder(), 12.0)
+                    .with_exec(ExecConfig::with_threads(threads)),
+            )
+            .unwrap();
+            let builder = ClusterConfig::builder()
+                .chips(chips)
+                .serve(serve_config)
+                .placement(SessionAffinity);
+            let config =
+                if migrate { builder.migration(ToLeastLoaded) } else { builder }.build().unwrap();
+            Cluster::new(e, config)
+        };
+        let reference = build(1).serve(&trace).unwrap();
+        for threads in [2usize, 4, 8] {
+            let report = build(threads).serve(&trace).unwrap();
+            prop_assert_eq!(&report, &reference, "threads {}", threads);
+            prop_assert_eq!(
+                report.to_json().unwrap(),
+                reference.to_json().unwrap(),
+                "serialized bytes, threads {}",
+                threads
+            );
+        }
+    }
+}
+
+/// The pinned cluster scenario: the serve-golden arrival set with sticky
+/// affinity hints skewing 6 of 8 requests onto chip 0 of a 2-chip
+/// cluster, paged eviction under a tight budget, and NoC migration into
+/// chip 1's headroom — placement, eviction, page-granular migration,
+/// remote reload *and* residual DRAM spill (the headroom is smaller than
+/// the spill demand) all land in the snapshot.
+fn golden_cluster_report() -> ClusterReport {
+    let requests: Vec<ServeRequest> = [
+        (0u32, 0.0f64, 16usize, 8usize),
+        (1, 0.0, 24, 4),
+        (2, 0.01, 8, 6),
+        (3, 0.015, 31, 2),
+        (4, 0.02, 4, 8),
+        (5, 0.03, 12, 5),
+        (6, 0.05, 20, 3),
+        (7, 0.08, 6, 7),
+    ]
+    .into_iter()
+    .map(|(id, arrival, prompt, generate)| {
+        ServeRequest::new(id, arrival, prompt, generate).with_affinity(u32::from(id >= 6))
+    })
+    .collect();
+    let trace = ArrivalTrace::new(requests);
+    let budget = 6144u64;
+    let serve_config = ServeConfig::default()
+        .with_budget(budget)
+        .with_policy(KvPolicy::PagedLru)
+        .with_page_bytes(256)
+        .with_max_batch(2);
+    let config = ClusterConfig::builder()
+        .chips(2)
+        .serve(serve_config)
+        .placement(SessionAffinity)
+        .migration(ToLeastLoaded)
+        .build()
+        .unwrap();
+    let report = Cluster::new(engine(), config).serve(&trace).unwrap();
+    assert!(report.migration_events > 0, "the golden scenario must exercise migration");
+    assert!(report.dram_kv_bytes > 0, "the golden scenario must still spill");
+    report
+}
+
+#[test]
+fn cluster_report_is_byte_stable() {
+    let got = golden_cluster_report().to_json().unwrap() + "\n";
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/cluster_zcu102.json");
+    if std::env::var_os("MEADOW_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "ClusterReport diverged from the committed snapshot; if the change is intentional, \
+         regenerate with MEADOW_UPDATE_GOLDEN=1 cargo test --test cluster_invariants"
+    );
+}

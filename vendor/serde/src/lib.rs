@@ -400,6 +400,19 @@ pub mod __private {
         }
     }
 
+    /// `#[serde(default)]` support: a missing field deserializes to the
+    /// type's `Default` instead of erroring, so new fields stay
+    /// backward-compatible with previously serialized data.
+    pub fn de_field_or_default<T: Deserialize + Default>(
+        v: &Value,
+        name: &str,
+    ) -> Result<T, Error> {
+        match v.get(name) {
+            Some(field) => T::from_value(field),
+            None => Ok(T::default()),
+        }
+    }
+
     pub fn de_index<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
         match v.index(i) {
             Some(field) => T::from_value(field),

@@ -11,8 +11,15 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum TypeKind {
     UnitStruct,
     TupleStruct(usize),
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<FieldDef>),
     Enum(Vec<Variant>),
+}
+
+/// A named field plus the one field attribute this derive honors:
+/// `#[serde(default)]` (a missing field deserializes to `Default`).
+struct FieldDef {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -23,7 +30,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<FieldDef>),
 }
 
 struct TypeDef {
@@ -32,13 +39,13 @@ struct TypeDef {
     kind: TypeKind,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
     gen_serialize(&def).parse().expect("generated Serialize impl must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
     gen_deserialize(&def).parse().expect("generated Deserialize impl must parse")
@@ -175,15 +182,55 @@ fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
     params
 }
 
-/// Parses `name: Type, ...` field lists, returning the field names.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Whether a `#[...]` attribute body is `serde(...)` containing a
+/// `default` ident (i.e. `#[serde(default)]`, possibly among others).
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names plus
+/// whether each carries `#[serde(default)]`.
+fn parse_named_fields(stream: TokenStream) -> Vec<FieldDef> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        // Walk the attributes ourselves (instead of skip_attrs_and_vis) so
+        // `#[serde(default)]` is seen before it is skipped.
+        let mut default = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1; // '#'
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Bracket {
+                            default |= attr_is_serde_default(g.stream());
+                            i += 1;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+                _ => break,
+            }
+        }
         let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
-        fields.push(id.to_string());
+        fields.push(FieldDef { name: id.to_string(), default });
         i += 1;
         // Skip `: Type` up to the next top-level comma; commas nested inside
         // `<...>`, `(...)`, etc. are part of the type.
@@ -300,6 +347,7 @@ fn gen_serialize(def: &TypeDef) -> String {
             let items: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
                     )
@@ -330,10 +378,12 @@ fn gen_serialize(def: &TypeDef) -> String {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds =
+                                fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                             let items: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
                                     )
@@ -356,6 +406,16 @@ fn gen_serialize(def: &TypeDef) -> String {
     )
 }
 
+/// One `field: de_field(..)?` initializer, honoring `#[serde(default)]`.
+fn de_named_field(field: &FieldDef, source: &str) -> String {
+    let f = &field.name;
+    if field.default {
+        format!("{f}: ::serde::__private::de_field_or_default({source}, {f:?})?")
+    } else {
+        format!("{f}: ::serde::__private::de_field({source}, {f:?})?")
+    }
+}
+
 fn gen_deserialize(def: &TypeDef) -> String {
     let ty = &def.name;
     let body = match &def.kind {
@@ -366,10 +426,7 @@ fn gen_deserialize(def: &TypeDef) -> String {
             format!("::std::result::Result::Ok({ty}({}))", items.join(", "))
         }
         TypeKind::NamedStruct(fields) => {
-            let items: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__private::de_field(__v, {f:?})?"))
-                .collect();
+            let items: Vec<String> = fields.iter().map(|f| de_named_field(f, "__v")).collect();
             format!("::std::result::Result::Ok({ty} {{ {} }})", items.join(", "))
         }
         TypeKind::Enum(variants) => {
@@ -398,10 +455,8 @@ fn gen_deserialize(def: &TypeDef) -> String {
                         ));
                     }
                     VariantKind::Named(fields) => {
-                        let items: Vec<String> = fields
-                            .iter()
-                            .map(|f| format!("{f}: ::serde::__private::de_field(__p, {f:?})?"))
-                            .collect();
+                        let items: Vec<String> =
+                            fields.iter().map(|f| de_named_field(f, "__p")).collect();
                         payload_arms.push(format!(
                             "if let ::std::option::Option::Some(__p) = __v.get({vn:?}) {{ return ::std::result::Result::Ok({ty}::{vn} {{ {} }}); }}",
                             items.join(", ")
