@@ -4,9 +4,10 @@
 //! exploration; this module is the *regression* surface. It times the
 //! workspace's hot paths — tiled INT8 GEMM, packing chunk decomposition,
 //! the functional batch forward, the continuous-batching serving
-//! simulator (whole-cache and paged eviction) and the multi-chip cluster
-//! serve — serial vs parallel, with warmup and a fixed number of
-//! trials, and reports median/p95/min/mean per variant as a
+//! simulator (whole-cache and paged eviction), the multi-chip cluster
+//! serve and the disaggregated two-stage serve — serial vs parallel,
+//! with warmup and a fixed number of trials, and reports
+//! median/p95/min/mean per variant as a
 //! schema-versioned [`BenchReport`] that serializes to `BENCH_<id>.json`.
 //!
 //! CI runs the `perfbench` binary on every push, uploads the JSON as an
@@ -17,8 +18,10 @@
 //! [`find_regressions`] gate remains available via `perfbench --gate
 //! absolute` for same-machine comparisons.
 
-use meadow_core::cluster::{Cluster, ClusterConfig, SessionAffinity, ToLeastLoaded};
-use meadow_core::serve::{serve, KvPolicy, ServeConfig};
+use meadow_core::cluster::{
+    Cluster, ClusterConfig, PrefillDecodeSplit, SessionAffinity, ToLeastLoaded,
+};
+use meadow_core::serve::{serve, KvPolicy, ServeConfig, SpecDecode};
 use meadow_core::{EngineConfig, MeadowEngine};
 use meadow_dataflow::forward::{batch_model_forward, model_forward, ForwardMode, ForwardScales};
 use meadow_models::presets;
@@ -316,6 +319,42 @@ fn serve_cluster_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     named_case(format!("serve_cluster_3x{requests}x{generate}"), serial, parallel)
 }
 
+fn serve_disagg_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (requests, generate) = if opts.quick { (6, 5) } else { (12, 8) };
+    let model = presets::tiny_decoder();
+    // Prefill/decode disaggregation on a 3-chip cluster (1 prefill + 2
+    // decode chips) with speculative decoding on: a two-pass simulation
+    // with the KV handoff charged on the NoC between the stages. The
+    // phase-routing, handoff and draft-flush machinery layered on the
+    // per-chip loops is the overhead this case guards.
+    let trace = ArrivalTrace::uniform(requests, 0.01, 16, generate);
+    let serve_config = ServeConfig::default().with_max_batch(2).with_speculation(SpecDecode {
+        draft_len: 4,
+        acceptance: 0.7,
+        draft_cost_ratio: 0.5,
+    });
+    let cluster_for = |exec: ExecConfig| {
+        let engine = MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0).with_exec(exec))
+            .expect("valid engine");
+        let config = ClusterConfig::builder()
+            .chips(3)
+            .serve(serve_config)
+            .phase_placement(PrefillDecodeSplit { prefill_chips: 1 })
+            .build()
+            .expect("valid cluster config");
+        Cluster::new(engine, config)
+    };
+    let serial_cluster = cluster_for(ExecConfig::serial());
+    let parallel_cluster = cluster_for(*exec);
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(serial_cluster.serve_disaggregated(&trace).expect("serve succeeds"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(parallel_cluster.serve_disaggregated(&trace).expect("serve succeeds"));
+    });
+    named_case(format!("serve_disagg_3x{requests}x{generate}"), serial, parallel)
+}
+
 fn named_case(name: String, serial: TimingStats, parallel: TimingStats) -> BenchCase {
     let speedup =
         if parallel.median_ms > 0.0 { serial.median_ms / parallel.median_ms } else { 0.0 };
@@ -332,6 +371,7 @@ pub fn run_suite(bench_id: &str, opts: &PerfOptions) -> BenchReport {
         serve_case(opts, &exec),
         serve_paged_case(opts, &exec),
         serve_cluster_case(opts, &exec),
+        serve_disagg_case(opts, &exec),
     ];
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -482,7 +522,7 @@ mod tests {
     fn suite_emits_versioned_round_trippable_json() {
         let report = run_suite("test", &quick_opts());
         assert_eq!(report.schema_version, SCHEMA_VERSION);
-        assert_eq!(report.cases.len(), 6);
+        assert_eq!(report.cases.len(), 7);
         assert!(report.cases.iter().all(|c| c.speedup > 0.0));
         assert_eq!(report.file_name(), "BENCH_test.json");
         let json = report.to_json().unwrap();
@@ -502,7 +542,7 @@ mod tests {
         assert_eq!(tree.get("threads").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(tree.get("quick").and_then(|v| v.as_bool()), Some(true));
         let cases = tree.get("cases").and_then(|v| v.as_seq()).unwrap();
-        assert_eq!(cases.len(), 6);
+        assert_eq!(cases.len(), 7);
         for case in cases {
             assert!(case.get("name").and_then(|v| v.as_str()).is_some());
             for variant in ["serial", "parallel"] {

@@ -77,6 +77,7 @@
 
 use crate::error::CoreError;
 use crate::serve::{percentile, serve_on_chip, ServeConfig, ServeError, ServeReport, ServeTrace};
+use crate::session::SessionPhase;
 use crate::MeadowEngine;
 use meadow_models::workload::{ArrivalTrace, ServeRequest};
 use meadow_sim::noc::{Noc, NocConfig};
@@ -255,6 +256,14 @@ impl MigrationPolicy for NoMigration {
 /// Migrate to the chip with the most remaining headroom that can hold the
 /// whole transfer (ties to the fewest hops, then the lowest chip index);
 /// spill to DRAM when no chip has room.
+///
+/// The donor search **excludes the source chip**: `Noc::transfer_hops`
+/// charges zero cycles and zero link bytes for a zero-hop transfer, so a
+/// policy that returned the source would park bytes "remotely" for free
+/// without ever putting them on the interconnect. The migration context
+/// enforces the same exclusion defensively for custom policies (a
+/// source-chip target falls back to the DRAM spill), which the
+/// `self_migration_is_rejected_as_free_parking` regression test pins.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ToLeastLoaded;
 
@@ -273,6 +282,116 @@ impl MigrationPolicy for ToLeastLoaded {
                 (room, std::cmp::Reverse(snapshot.hops[chip]), std::cmp::Reverse(chip))
             })
             .map(|(chip, _)| chip)
+    }
+}
+
+/// Where one request's two phases run, as decided by a
+/// [`PhasePlacement`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseAssignment {
+    /// The chip the prompt's prefill runs on.
+    pub prefill_chip: usize,
+    /// The chip the decode loop runs on. Equal to
+    /// [`prefill_chip`](PhaseAssignment::prefill_chip) means the request
+    /// is colocated (no handoff).
+    pub decode_chip: usize,
+}
+
+impl PhaseAssignment {
+    /// Both phases on one chip — no KV handoff.
+    pub fn colocated(chip: usize) -> Self {
+        Self { prefill_chip: chip, decode_chip: chip }
+    }
+
+    /// Whether the request's phases run on different chips.
+    pub fn is_split(&self) -> bool {
+        self.prefill_chip != self.decode_chip
+    }
+}
+
+/// Routes each request's *phases* to chips, on top of the base
+/// [`PlacementPolicy`]: MEADOW's compute-bound prefill and memory-bound
+/// decode need not share a chip
+/// ([`Cluster::serve_disaggregated`](Cluster::serve_disaggregated)).
+///
+/// Called once per request in arrival order (ties by id) with the running
+/// [`ChipLoad`]s and the chip the cluster's base placement policy would
+/// have routed the whole request to. Implementations must be deterministic
+/// and must return chip indices below `loads.len()`. A split assignment's
+/// prefill leg runs in the prefill stage, its prompt KV hands off over the
+/// cluster NoC ([`Noc::transfer_hops`], `|prefill - decode|` hops), and
+/// its decode leg runs in the decode stage — so the two stage pools must
+/// stay disjoint ([`ServeError::PhaseOverlap`]).
+pub trait PhasePlacement: fmt::Debug + Send + Sync {
+    /// Short stable identifier recorded in the [`DisaggReport`].
+    fn name(&self) -> &'static str;
+
+    /// The chips the `seq`-th arriving request's phases run on; `base` is
+    /// the chip the cluster's [`PlacementPolicy`] routed the request to.
+    fn place_phases(
+        &self,
+        seq: usize,
+        request: &ServeRequest,
+        loads: &[ChipLoad],
+        base: usize,
+    ) -> PhaseAssignment;
+}
+
+/// Both phases on the base placement's chip — the degenerate phase
+/// placement under which
+/// [`Cluster::serve_disaggregated`](Cluster::serve_disaggregated)
+/// reproduces [`Cluster::serve`] bit-exactly (the
+/// `tests/disagg_invariants.rs` contract).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Colocated;
+
+impl PhasePlacement for Colocated {
+    fn name(&self) -> &'static str {
+        "colocated"
+    }
+
+    fn place_phases(
+        &self,
+        _seq: usize,
+        _request: &ServeRequest,
+        _loads: &[ChipLoad],
+        base: usize,
+    ) -> PhaseAssignment {
+        PhaseAssignment::colocated(base)
+    }
+}
+
+/// Disaggregated serving: chips `[0, prefill_chips)` form the prefill
+/// pool, chips `[prefill_chips, chips)` the decode pool, and every request
+/// round-robins over each pool independently (by arrival sequence). With
+/// no decode pool to split into (`prefill_chips == 0` or ≥ the cluster
+/// size) it degenerates to [`Colocated`] on the base placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillDecodeSplit {
+    /// Number of chips dedicated to prefill (the rest decode).
+    pub prefill_chips: usize,
+}
+
+impl PhasePlacement for PrefillDecodeSplit {
+    fn name(&self) -> &'static str {
+        "prefill-decode-split"
+    }
+
+    fn place_phases(
+        &self,
+        seq: usize,
+        _request: &ServeRequest,
+        loads: &[ChipLoad],
+        base: usize,
+    ) -> PhaseAssignment {
+        let chips = loads.len();
+        if self.prefill_chips == 0 || self.prefill_chips >= chips {
+            return PhaseAssignment::colocated(base);
+        }
+        PhaseAssignment {
+            prefill_chip: seq % self.prefill_chips,
+            decode_chip: self.prefill_chips + seq % (chips - self.prefill_chips),
+        }
     }
 }
 
@@ -407,6 +526,7 @@ pub struct ClusterConfig {
     serve: ServeConfig,
     placement: Box<dyn PlacementPolicy>,
     migration: Box<dyn MigrationPolicy>,
+    phase_placement: Box<dyn PhasePlacement>,
     noc: NocConfig,
 }
 
@@ -438,6 +558,11 @@ impl ClusterConfig {
         self.migration.name()
     }
 
+    /// The phase placement's identifier ([`Colocated`] unless overridden).
+    pub fn phase_placement_name(&self) -> &'static str {
+        self.phase_placement.name()
+    }
+
     /// The chip-to-chip NoC configuration.
     pub fn noc(&self) -> NocConfig {
         self.noc
@@ -451,6 +576,7 @@ pub struct ClusterConfigBuilder {
     serve: ServeConfig,
     placement: Box<dyn PlacementPolicy>,
     migration: Box<dyn MigrationPolicy>,
+    phase_placement: Box<dyn PhasePlacement>,
     noc: NocConfig,
 }
 
@@ -461,6 +587,7 @@ impl Default for ClusterConfigBuilder {
             serve: ServeConfig::default(),
             placement: Box::new(RoundRobin),
             migration: Box::new(NoMigration),
+            phase_placement: Box::new(Colocated),
             noc: NocConfig::default(),
         }
     }
@@ -491,6 +618,14 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Sets the phase placement used by
+    /// [`Cluster::serve_disaggregated`] (defaults to [`Colocated`];
+    /// [`Cluster::serve`] ignores it).
+    pub fn phase_placement(mut self, phase_placement: impl PhasePlacement + 'static) -> Self {
+        self.phase_placement = Box::new(phase_placement);
+        self
+    }
+
     /// Sets the chip-to-chip NoC configuration.
     pub fn noc(mut self, noc: NocConfig) -> Self {
         self.noc = noc;
@@ -514,6 +649,7 @@ impl ClusterConfigBuilder {
             serve: self.serve,
             placement: self.placement,
             migration: self.migration,
+            phase_placement: self.phase_placement,
             noc: self.noc,
         })
     }
@@ -578,8 +714,20 @@ pub struct ClusterReport {
     pub p50_latency_ms: f64,
     /// 95th-percentile completed-request latency across all chips, in ms.
     pub p95_latency_ms: f64,
-    /// Sum of per-chip peak KV residencies, in bytes.
+    /// Sum of per-chip peak KV residencies, in bytes. The per-chip peaks
+    /// are **not time-aligned** — each chip peaks at its own moment — so
+    /// this is an upper bound that can overstate the true simultaneous
+    /// cluster-wide peak; it answers "how much KV budget must I provision
+    /// per chip, summed", not "how many bytes were live at once". For the
+    /// largest single chip's peak, see
+    /// [`max_chip_peak_kv_bytes`](ClusterReport::max_chip_peak_kv_bytes).
     pub peak_kv_bytes: u64,
+    /// Largest single chip's peak KV residency, in bytes — an honest
+    /// lower bound on the cluster-wide simultaneous peak (at least one
+    /// chip really held this much at one moment). Defaults to zero when
+    /// absent from pre-existing serialized reports.
+    #[serde(default)]
+    pub max_chip_peak_kv_bytes: u64,
     /// Placement imbalance: the largest chip's assigned peak-KV demand
     /// over the mean chip's (1.0 = perfectly balanced).
     pub kv_imbalance: f64,
@@ -607,6 +755,111 @@ impl ClusterReport {
     /// Looks up a request's trace across all chips.
     pub fn trace(&self, id: u32) -> Option<&ServeTrace> {
         self.per_chip.iter().find_map(|c| c.report.trace(id))
+    }
+
+    /// Pretty JSON for artifacts and golden snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization errors from the vendored serde_json.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+/// NoC traffic of the prefill→decode KV handoffs of one disaggregated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HandoffStats {
+    /// Handoffs actually performed: split requests whose prefill leg was
+    /// not shed by admission.
+    pub split_requests: u64,
+    /// Payload bytes handed off — each split request contributes its
+    /// prompt KV ([`ServeRequest::prompt_kv_bytes`]) exactly once, so this
+    /// conserves bytes against the summaries.
+    pub handoff_bytes: u64,
+    /// Link-level bytes the handoffs put on the cluster NoC (payload ×
+    /// hops, store-and-forward).
+    pub noc_link_bytes: u64,
+    /// NoC link cycles the handoffs occupied.
+    pub noc_link_cycles: u64,
+}
+
+/// Per-request record of one disaggregated run, in input-trace order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestSummary {
+    /// Request identifier.
+    pub id: u32,
+    /// Chip the prefill leg ran on.
+    pub prefill_chip: usize,
+    /// Chip the decode leg ran on (equal to
+    /// [`prefill_chip`](RequestSummary::prefill_chip) when colocated).
+    pub decode_chip: usize,
+    /// Whether either leg was shed by SLO admission.
+    pub rejected: bool,
+    /// Arrival → first token, in ms (from the prefill leg; zero when its
+    /// prefill was rejected).
+    pub ttft_ms: f64,
+    /// KV handoff latency between the phases, in ms (zero when colocated
+    /// or rejected).
+    pub handoff_ms: f64,
+    /// Wall-clock time the last token completed, in ms (absolute serving
+    /// clock, handoff included).
+    pub finish_ms: f64,
+    /// Wall-clock decode pace in ms/token: first token → last token over
+    /// the generated count, *including* handoff and decode-side queueing —
+    /// the latency the stream's consumer observes between tokens, not the
+    /// contention-free own-service TBT the per-leg traces record.
+    pub mean_tbt_ms: f64,
+    /// Tokens generated for this request.
+    pub generated_tokens: u64,
+}
+
+/// Aggregate result of one [`Cluster::serve_disaggregated`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisaggReport {
+    /// Phase-placement identifier.
+    pub phase_placement: String,
+    /// Requests in the input trace.
+    pub requests: usize,
+    /// Requests the phase placement split across chips (whether or not
+    /// their prefill leg survived admission).
+    pub split_requests: u64,
+    /// Requests either of whose legs admission shed.
+    pub rejected_requests: u64,
+    /// Tokens generated across both stages.
+    pub total_generated_tokens: u64,
+    /// Wall-clock end of the slowest stage, in ms (the decode stage runs
+    /// on the same absolute clock: its arrivals are prefill finish plus
+    /// handoff).
+    pub makespan_ms: f64,
+    /// Generated-token throughput over the makespan.
+    pub tokens_per_sec: f64,
+    /// Median TTFT across non-rejected requests, in ms.
+    pub p50_ttft_ms: f64,
+    /// 95th-percentile TTFT across non-rejected requests, in ms.
+    pub p95_ttft_ms: f64,
+    /// Median wall-clock decode pace ([`RequestSummary::mean_tbt_ms`]).
+    pub p50_tbt_ms: f64,
+    /// 95th-percentile wall-clock decode pace.
+    pub p95_tbt_ms: f64,
+    /// KV-handoff traffic between the stages.
+    pub handoff: HandoffStats,
+    /// The prefill stage: every request's first leg (whole requests when
+    /// colocated, prefill-only legs when split). Under the [`Colocated`]
+    /// phase placement this is bit-identical to [`Cluster::serve`]'s
+    /// report.
+    pub prefill_stage: ClusterReport,
+    /// The decode stage serving the split requests' decode legs; `None`
+    /// when nothing was split (or every split prefill was shed).
+    pub decode_stage: Option<ClusterReport>,
+    /// Per-request records, in input-trace order.
+    pub summaries: Vec<RequestSummary>,
+}
+
+impl DisaggReport {
+    /// Looks up a request's summary.
+    pub fn summary(&self, id: u32) -> Option<&RequestSummary> {
+        self.summaries.iter().find(|s| s.id == id)
     }
 
     /// Pretty JSON for artifacts and golden snapshots.
@@ -752,7 +1005,24 @@ impl Cluster {
         for (idx, request) in trace.requests.iter().enumerate() {
             shards[assignment[idx]].requests.push(*request);
         }
+        self.run_shards(&shards, &loads, None, trace.requests.len())
+    }
 
+    /// Runs per-chip shards through the serving loop: the shared backend
+    /// of [`Cluster::serve`] and both stages of
+    /// [`Cluster::serve_disaggregated`]. `loads` is the placement picture
+    /// the donor-headroom partition and per-chip report rows are built
+    /// from, `phases` (per chip, aligned with its shard's requests; `None`
+    /// = all [`SessionPhase::Full`]) marks partial legs, and `requests` is
+    /// the number of legs the report accounts.
+    fn run_shards(
+        &self,
+        shards: &[ArrivalTrace],
+        loads: &[ChipLoad],
+        phases: Option<&[Vec<SessionPhase>]>,
+        requests: usize,
+    ) -> Result<ClusterReport, CoreError> {
+        let chips = self.nodes.len();
         // Donor headroom: each chip's budget slack after placement,
         // statically split among the other chips so the parallel per-chip
         // loops can never oversubscribe a donor.
@@ -786,6 +1056,7 @@ impl Cluster {
                     &self.nodes[chip].engine,
                     &shards[chip],
                     &self.config.serve,
+                    phases.map(|p| p[chip].as_slice()),
                     Some(&mut ctx),
                 )?;
                 Ok((report, ctx.into_stats()))
@@ -798,6 +1069,7 @@ impl Cluster {
         let mut total_tokens = 0u64;
         let mut makespan = 0.0f64;
         let mut peak_kv = 0u64;
+        let mut max_chip_peak = 0u64;
         let mut spilled = 0u64;
         let mut stats_total = MigrationStats::default();
         for (chip, result) in results.into_iter().enumerate() {
@@ -809,6 +1081,7 @@ impl Cluster {
             total_tokens += report.total_generated_tokens;
             makespan = makespan.max(report.makespan_ms);
             peak_kv += report.peak_kv_bytes;
+            max_chip_peak = max_chip_peak.max(report.peak_kv_bytes);
             spilled += report.ledger.bytes(TrafficClass::KvCache);
             stats_total.migrated_out_bytes += migration.migrated_out_bytes;
             stats_total.migration_events += migration.migration_events;
@@ -831,7 +1104,7 @@ impl Cluster {
             chips,
             placement: self.config.placement.name().to_string(),
             migration: self.config.migration.name().to_string(),
-            requests: trace.requests.len(),
+            requests,
             rejected_requests: rejected,
             total_generated_tokens: total_tokens,
             makespan_ms: makespan,
@@ -843,6 +1116,7 @@ impl Cluster {
             p50_latency_ms: percentile(&latencies, 0.5),
             p95_latency_ms: percentile(&latencies, 0.95),
             peak_kv_bytes: peak_kv,
+            max_chip_peak_kv_bytes: max_chip_peak,
             kv_imbalance: if mean_demand > 0.0 { max_demand / mean_demand } else { 1.0 },
             migrated_out_bytes: stats_total.migrated_out_bytes,
             migration_events: stats_total.migration_events,
@@ -851,6 +1125,264 @@ impl Cluster {
             noc_link_cycles: stats_total.noc_link_cycles,
             dram_kv_bytes: spilled,
             per_chip,
+        })
+    }
+
+    /// Serves one arrival stream with prefill/decode disaggregation: the
+    /// base [`PlacementPolicy`] routes each request as usual, then the
+    /// configured [`PhasePlacement`] may split it — prefill on one chip,
+    /// decode on another — with the prompt's KV cache handed off over the
+    /// cluster NoC ([`Noc::transfer_hops`], store-and-forward, charged per
+    /// hop).
+    ///
+    /// The run is two deterministic stages on one absolute clock. The
+    /// *prefill stage* serves every request's first leg: colocated
+    /// requests run whole ([`SessionPhase::Full`]) and split requests run
+    /// [`SessionPhase::PrefillOnly`] on their prefill chip, finishing once
+    /// the prompt KV (and first token) exist. Each surviving split
+    /// request's decode leg then arrives on its decode chip at `prefill
+    /// finish + handoff latency` and the *decode stage* serves those legs
+    /// ([`SessionPhase::DecodeOnly`], starting pre-filled, no DRAM fault
+    /// on first admission). The two stages' chip pools must be disjoint —
+    /// a chip hosting prefill-stage legs cannot also host decode-stage
+    /// legs, because the stages would overlap in time on that chip
+    /// ([`ServeError::PhaseOverlap`]).
+    ///
+    /// Under the default [`Colocated`] phase placement every request runs
+    /// whole, the decode stage is empty, and
+    /// [`DisaggReport::prefill_stage`] reproduces [`Cluster::serve`]'s
+    /// report bit-exactly (the `tests/disagg_invariants.rs` contract).
+    /// Deterministic: bit-identical across `MEADOW_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Serve`] for out-of-range base or phase
+    /// placements and for overlapping stage pools; propagates
+    /// trace-validation and measurement errors.
+    pub fn serve_disaggregated(&self, trace: &ArrivalTrace) -> Result<DisaggReport, CoreError> {
+        let chips = self.nodes.len();
+        let model = &self.nodes[0].engine.config().model;
+        trace.validate(model)?;
+
+        // Placement: identical arrival ordering and load bookkeeping to
+        // `serve`, so `Colocated` degenerates to it exactly. The combined
+        // `loads` picture (both legs of every request) feeds the policies;
+        // each stage's run sees only its own legs.
+        let mut order: Vec<usize> = (0..trace.requests.len()).collect();
+        order.sort_by(|&a, &b| {
+            trace.requests[a]
+                .arrival_ms
+                .total_cmp(&trace.requests[b].arrival_ms)
+                .then(trace.requests[a].id.cmp(&trace.requests[b].id))
+        });
+        let new_loads = || -> Vec<ChipLoad> {
+            (0..chips)
+                .map(|chip| ChipLoad {
+                    chip,
+                    assigned_requests: 0,
+                    assigned_peak_kv_bytes: 0,
+                    kv_budget_bytes: self.config.serve.kv_budget_bytes,
+                })
+                .collect()
+        };
+        let mut loads = new_loads();
+        let mut pass_a_loads = new_loads();
+        let mut pass_b_loads = new_loads();
+        let mut assignment = vec![PhaseAssignment::colocated(0); trace.requests.len()];
+        for (seq, &idx) in order.iter().enumerate() {
+            let request = &trace.requests[idx];
+            let base = self.config.placement.place(seq, request, &loads);
+            if base >= chips {
+                return Err(ServeError::PlacementOutOfRange { chip: base, chips }.into());
+            }
+            let pa = self.config.phase_placement.place_phases(seq, request, &loads, base);
+            for chip in [pa.prefill_chip, pa.decode_chip] {
+                if chip >= chips {
+                    return Err(ServeError::PlacementOutOfRange { chip, chips }.into());
+                }
+            }
+            let peak = request.peak_kv_bytes(model);
+            if pa.is_split() {
+                // The prefill chip only ever holds the prompt KV (it
+                // leaves at the phase boundary); the decode chip holds the
+                // request's full peak.
+                let prompt_kv = request.prompt_kv_bytes(model);
+                loads[pa.prefill_chip].assigned_requests += 1;
+                loads[pa.prefill_chip].assigned_peak_kv_bytes += prompt_kv;
+                loads[pa.decode_chip].assigned_requests += 1;
+                loads[pa.decode_chip].assigned_peak_kv_bytes += peak;
+                pass_a_loads[pa.prefill_chip].assigned_requests += 1;
+                pass_a_loads[pa.prefill_chip].assigned_peak_kv_bytes += prompt_kv;
+                pass_b_loads[pa.decode_chip].assigned_requests += 1;
+                pass_b_loads[pa.decode_chip].assigned_peak_kv_bytes += peak;
+            } else {
+                loads[pa.decode_chip].assigned_requests += 1;
+                loads[pa.decode_chip].assigned_peak_kv_bytes += peak;
+                pass_a_loads[pa.decode_chip].assigned_requests += 1;
+                pass_a_loads[pa.decode_chip].assigned_peak_kv_bytes += peak;
+            }
+            assignment[idx] = pa;
+        }
+
+        // Prefill-stage shards (input order, like `serve`), plus the
+        // disjointness check between the stage pools.
+        let mut hosts_prefill = vec![false; chips];
+        let mut hosts_decode = vec![false; chips];
+        let mut shards_a: Vec<ArrivalTrace> = vec![ArrivalTrace::default(); chips];
+        let mut phases_a: Vec<Vec<SessionPhase>> = vec![Vec::new(); chips];
+        for (idx, request) in trace.requests.iter().enumerate() {
+            let pa = assignment[idx];
+            let phase = if pa.is_split() { SessionPhase::PrefillOnly } else { SessionPhase::Full };
+            shards_a[pa.prefill_chip].requests.push(*request);
+            phases_a[pa.prefill_chip].push(phase);
+            hosts_prefill[pa.prefill_chip] = true;
+            if pa.is_split() {
+                hosts_decode[pa.decode_chip] = true;
+            }
+        }
+        if let Some(chip) = (0..chips).find(|&c| hosts_prefill[c] && hosts_decode[c]) {
+            return Err(ServeError::PhaseOverlap { chip }.into());
+        }
+        let prefill_stage =
+            self.run_shards(&shards_a, &pass_a_loads, Some(&phases_a), trace.requests.len())?;
+
+        // KV handoffs: one shared accounting NoC, charged in arrival order
+        // (the cost model is contention-free, so ordering only needs to be
+        // deterministic). A shed prefill leg hands nothing off.
+        let clock = self.nodes[0].engine.config().chip.clock;
+        let mut noc = Noc::new(self.config.noc)?;
+        let mut handoffs = 0u64;
+        let mut handoff_bytes = 0u64;
+        let mut handoff_ms: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut shards_b: Vec<ArrivalTrace> = vec![ArrivalTrace::default(); chips];
+        let mut phases_b: Vec<Vec<SessionPhase>> = vec![Vec::new(); chips];
+        let mut decode_legs = 0usize;
+        for &idx in &order {
+            let pa = assignment[idx];
+            if !pa.is_split() {
+                continue;
+            }
+            let request = trace.requests[idx];
+            let pre =
+                prefill_stage.trace(request.id).expect("every request has a prefill-stage leg");
+            if pre.rejected {
+                continue;
+            }
+            let bytes = request.prompt_kv_bytes(model);
+            let hops = pa.prefill_chip.abs_diff(pa.decode_chip) as u32;
+            let ms = clock.to_ms(noc.transfer_hops(bytes, hops));
+            handoffs += 1;
+            handoff_bytes += bytes;
+            handoff_ms.insert(request.id, ms);
+            let mut leg = request;
+            leg.arrival_ms = pre.finish_ms + ms;
+            shards_b[pa.decode_chip].requests.push(leg);
+            phases_b[pa.decode_chip].push(SessionPhase::DecodeOnly);
+            decode_legs += 1;
+        }
+        let decode_stage = if decode_legs > 0 {
+            Some(self.run_shards(&shards_b, &pass_b_loads, Some(&phases_b), decode_legs)?)
+        } else {
+            None
+        };
+
+        // Per-request summaries stitch the legs back together, in input
+        // order. The wall-clock decode pace spans first token → last token
+        // (handoff and decode-side queueing included).
+        let pace = |first_token_ms: f64, finish_ms: f64, generated: usize| -> f64 {
+            if generated == 0 {
+                0.0
+            } else {
+                (finish_ms - first_token_ms) / generated as f64
+            }
+        };
+        let mut summaries = Vec::with_capacity(trace.requests.len());
+        for (idx, request) in trace.requests.iter().enumerate() {
+            let pa = assignment[idx];
+            let pre =
+                prefill_stage.trace(request.id).expect("every request has a prefill-stage leg");
+            let summary = if !pa.is_split() {
+                RequestSummary {
+                    id: request.id,
+                    prefill_chip: pa.prefill_chip,
+                    decode_chip: pa.decode_chip,
+                    rejected: pre.rejected,
+                    ttft_ms: if pre.rejected { 0.0 } else { pre.ttft_ms() },
+                    handoff_ms: 0.0,
+                    finish_ms: pre.finish_ms,
+                    mean_tbt_ms: pace(pre.first_token_ms, pre.finish_ms, pre.generated_tokens),
+                    generated_tokens: pre.generated_tokens as u64,
+                }
+            } else if pre.rejected {
+                RequestSummary {
+                    id: request.id,
+                    prefill_chip: pa.prefill_chip,
+                    decode_chip: pa.decode_chip,
+                    rejected: true,
+                    ttft_ms: 0.0,
+                    handoff_ms: 0.0,
+                    finish_ms: 0.0,
+                    mean_tbt_ms: 0.0,
+                    generated_tokens: 0,
+                }
+            } else {
+                let dec = decode_stage
+                    .as_ref()
+                    .and_then(|s| s.trace(request.id))
+                    .expect("surviving split request has a decode-stage leg");
+                RequestSummary {
+                    id: request.id,
+                    prefill_chip: pa.prefill_chip,
+                    decode_chip: pa.decode_chip,
+                    rejected: dec.rejected,
+                    ttft_ms: pre.ttft_ms(),
+                    handoff_ms: handoff_ms.get(&request.id).copied().unwrap_or(0.0),
+                    finish_ms: dec.finish_ms,
+                    mean_tbt_ms: pace(pre.first_token_ms, dec.finish_ms, dec.generated_tokens),
+                    generated_tokens: dec.generated_tokens as u64,
+                }
+            };
+            summaries.push(summary);
+        }
+
+        let mut ttfts: Vec<f64> =
+            summaries.iter().filter(|s| !s.rejected).map(|s| s.ttft_ms).collect();
+        ttfts.sort_by(f64::total_cmp);
+        let mut paces: Vec<f64> = summaries
+            .iter()
+            .filter(|s| !s.rejected && s.generated_tokens > 0)
+            .map(|s| s.mean_tbt_ms)
+            .collect();
+        paces.sort_by(f64::total_cmp);
+        let total_tokens = prefill_stage.total_generated_tokens
+            + decode_stage.as_ref().map_or(0, |s| s.total_generated_tokens);
+        let makespan =
+            prefill_stage.makespan_ms.max(decode_stage.as_ref().map_or(0.0, |s| s.makespan_ms));
+        Ok(DisaggReport {
+            phase_placement: self.config.phase_placement.name().to_string(),
+            requests: trace.requests.len(),
+            split_requests: assignment.iter().filter(|pa| pa.is_split()).count() as u64,
+            rejected_requests: summaries.iter().filter(|s| s.rejected).count() as u64,
+            total_generated_tokens: total_tokens,
+            makespan_ms: makespan,
+            tokens_per_sec: if makespan > 0.0 {
+                total_tokens as f64 / (makespan / 1e3)
+            } else {
+                0.0
+            },
+            p50_ttft_ms: percentile(&ttfts, 0.5),
+            p95_ttft_ms: percentile(&ttfts, 0.95),
+            p50_tbt_ms: percentile(&paces, 0.5),
+            p95_tbt_ms: percentile(&paces, 0.95),
+            handoff: HandoffStats {
+                split_requests: handoffs,
+                handoff_bytes,
+                noc_link_bytes: noc.total_bytes(),
+                noc_link_cycles: noc.total_link_cycles(),
+            },
+            prefill_stage,
+            decode_stage,
+            summaries,
         })
     }
 }
@@ -1058,5 +1590,187 @@ mod tests {
         assert_eq!(parsed, report);
         assert!(report.trace(2).is_some());
         assert!(report.trace(99).is_none());
+    }
+
+    #[test]
+    fn self_migration_is_rejected_as_free_parking() {
+        // An adversarial policy that always targets the evicting chip
+        // itself. `Noc::transfer_hops` charges nothing for zero hops, so
+        // if this were honored the bytes would "migrate" for free without
+        // touching the interconnect; the MigrationCtx must fall back to
+        // the ordinary DRAM spill instead.
+        #[derive(Debug)]
+        struct ParkOnSelf;
+        impl MigrationPolicy for ParkOnSelf {
+            fn name(&self) -> &'static str {
+                "park-on-self"
+            }
+            fn choose_target(&self, _: u64, snapshot: &MigrationSnapshot<'_>) -> Option<usize> {
+                Some(snapshot.source)
+            }
+        }
+        // Same pressure scenario as migration_replaces_dram_spill_under_
+        // pressure: chip 0 oversubscribed, chip 1 with donatable headroom.
+        let trace = ArrivalTrace::new(
+            (0..6u32)
+                .map(|i| ServeRequest::new(i, 0.0, 16, 8).with_affinity(u32::from(i == 5)))
+                .collect(),
+        );
+        let model = presets::tiny_decoder();
+        let single = trace.requests[0].peak_kv_bytes(&model);
+        let serve_config = ServeConfig::default()
+            .with_budget(2 * single)
+            .with_policy(KvPolicy::PagedLru)
+            .with_page_bytes(256)
+            .with_max_batch(1);
+        let run = |migration: Box<dyn MigrationPolicy>| {
+            let mut builder =
+                ClusterConfig::builder().chips(2).serve(serve_config).placement(SessionAffinity);
+            builder.migration = migration;
+            Cluster::new(engine(), builder.build().unwrap()).serve(&trace).unwrap()
+        };
+        let honest = run(Box::new(NoMigration));
+        let selfish = run(Box::new(ParkOnSelf));
+        assert!(honest.dram_kv_bytes > 0, "the workload must spill");
+        // The self-target never migrates: no parked bytes, no NoC traffic,
+        // and exactly the DRAM spill the no-migration run pays.
+        assert_eq!(selfish.migrated_out_bytes, 0);
+        assert_eq!(selfish.migration_events, 0);
+        assert_eq!(selfish.noc_link_bytes, 0);
+        assert_eq!(selfish.noc_link_cycles, 0);
+        assert_eq!(selfish.dram_kv_bytes, honest.dram_kv_bytes);
+        assert_eq!(selfish.total_generated_tokens, honest.total_generated_tokens);
+    }
+
+    #[test]
+    fn phase_placements_route_deterministically() {
+        let loads: Vec<ChipLoad> = (0..4)
+            .map(|chip| ChipLoad {
+                chip,
+                assigned_requests: 0,
+                assigned_peak_kv_bytes: 0,
+                kv_budget_bytes: None,
+            })
+            .collect();
+        let req = ServeRequest::new(0, 0.0, 16, 8);
+        // Colocated always follows the base placement.
+        for base in 0..4 {
+            let pa = Colocated.place_phases(7, &req, &loads, base);
+            assert_eq!(pa, PhaseAssignment::colocated(base));
+            assert!(!pa.is_split());
+        }
+        // A 1+3 split round-robins decode over chips 1..4.
+        let split = PrefillDecodeSplit { prefill_chips: 1 };
+        for seq in 0..6 {
+            let pa = split.place_phases(seq, &req, &loads, 3);
+            assert_eq!(pa.prefill_chip, 0);
+            assert_eq!(pa.decode_chip, 1 + seq % 3);
+            assert!(pa.is_split());
+        }
+        // Degenerate pool sizes collapse to the base placement.
+        for degenerate in [0, 4, 5] {
+            let pa =
+                PrefillDecodeSplit { prefill_chips: degenerate }.place_phases(2, &req, &loads, 3);
+            assert_eq!(pa, PhaseAssignment::colocated(3));
+        }
+    }
+
+    #[test]
+    fn overlapping_phase_pools_are_rejected() {
+        // Splits even requests 0→1 but colocates odd requests on chip 1:
+        // chip 1 would need to serve prefill-stage legs and decode-stage
+        // legs at once.
+        #[derive(Debug)]
+        struct Tangled;
+        impl PhasePlacement for Tangled {
+            fn name(&self) -> &'static str {
+                "tangled"
+            }
+            fn place_phases(
+                &self,
+                seq: usize,
+                _: &ServeRequest,
+                _: &[ChipLoad],
+                _: usize,
+            ) -> PhaseAssignment {
+                if seq.is_multiple_of(2) {
+                    PhaseAssignment { prefill_chip: 0, decode_chip: 1 }
+                } else {
+                    PhaseAssignment::colocated(1)
+                }
+            }
+        }
+        let config = ClusterConfig::builder().chips(2).phase_placement(Tangled).build().unwrap();
+        let err = Cluster::new(engine(), config)
+            .serve_disaggregated(&ArrivalTrace::uniform(4, 0.0, 8, 2))
+            .unwrap_err();
+        assert_eq!(err, CoreError::Serve(ServeError::PhaseOverlap { chip: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_phase_placement_is_rejected() {
+        #[derive(Debug)]
+        struct WildPhases;
+        impl PhasePlacement for WildPhases {
+            fn name(&self) -> &'static str {
+                "wild-phases"
+            }
+            fn place_phases(
+                &self,
+                _: usize,
+                _: &ServeRequest,
+                loads: &[ChipLoad],
+                _: usize,
+            ) -> PhaseAssignment {
+                PhaseAssignment { prefill_chip: 0, decode_chip: loads.len() }
+            }
+        }
+        let config = ClusterConfig::builder().chips(2).phase_placement(WildPhases).build().unwrap();
+        let err = Cluster::new(engine(), config)
+            .serve_disaggregated(&ArrivalTrace::uniform(2, 0.0, 8, 2))
+            .unwrap_err();
+        assert_eq!(err, CoreError::Serve(ServeError::PlacementOutOfRange { chip: 2, chips: 2 }));
+    }
+
+    #[test]
+    fn disaggregated_split_hands_off_and_decodes_remotely() {
+        let model = presets::tiny_decoder();
+        let trace = ArrivalTrace::uniform(4, 0.01, 16, 8);
+        let config = ClusterConfig::builder()
+            .chips(2)
+            .phase_placement(PrefillDecodeSplit { prefill_chips: 1 })
+            .build()
+            .unwrap();
+        let report = Cluster::new(engine(), config).serve_disaggregated(&trace).unwrap();
+        assert_eq!(report.phase_placement, "prefill-decode-split");
+        assert_eq!(report.requests, 4);
+        assert_eq!(report.split_requests, 4);
+        assert_eq!(report.rejected_requests, 0);
+        assert_eq!(report.total_generated_tokens, 4 * 8);
+        // The prefill stage generates nothing (all legs are prefill-only);
+        // every token comes out of the decode stage.
+        assert_eq!(report.prefill_stage.total_generated_tokens, 0);
+        let decode = report.decode_stage.as_ref().expect("split requests need a decode stage");
+        assert_eq!(decode.total_generated_tokens, 4 * 8);
+        // Handoff bytes conserve exactly: one prompt KV per split request.
+        let expected: u64 = trace.requests.iter().map(|r| r.prompt_kv_bytes(&model)).sum();
+        assert_eq!(report.handoff.split_requests, 4);
+        assert_eq!(report.handoff.handoff_bytes, expected);
+        // One hop between chips 0 and 1: link bytes == payload bytes.
+        assert_eq!(report.handoff.noc_link_bytes, expected);
+        assert!(report.handoff.noc_link_cycles > 0);
+        for s in &report.summaries {
+            assert_eq!(s.prefill_chip, 0);
+            assert_eq!(s.decode_chip, 1);
+            assert!(s.handoff_ms > 0.0);
+            assert!(s.ttft_ms > 0.0);
+            assert!(s.finish_ms > s.ttft_ms, "decode finishes after the first token");
+            assert!(s.mean_tbt_ms > 0.0);
+        }
+        let json = report.to_json().unwrap();
+        let parsed: DisaggReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, report);
+        assert!(report.summary(0).is_some());
+        assert!(report.summary(99).is_none());
     }
 }

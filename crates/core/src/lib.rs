@@ -14,12 +14,14 @@
 //! * [`serve`] — the multi-session serving simulator: continuous batching
 //!   of many requests on one engine under an explicit KV-cache memory
 //!   budget with FIFO/LRU whole-cache eviction or paged (vLLM-style)
-//!   eviction, plus SLO-aware admission.
+//!   eviction, SLO-aware admission, and a deterministic
+//!   speculative-decoding model ([`SpecDecode`]).
 //! * [`cluster`] — the cluster serving API: shard the session pool across
 //!   N simulated chips behind one arrival stream, with pluggable
-//!   [`PlacementPolicy`] routing, per-chip page pools, and
+//!   [`PlacementPolicy`] routing, per-chip page pools,
 //!   [`MigrationPolicy`]-driven cross-chip KV migration charged on the
-//!   NoC model.
+//!   NoC model, and [`PhasePlacement`]-driven prefill/decode
+//!   disaggregation with the prompt-KV handoff charged per hop.
 //! * [`kv_pages`] — the paged KV-cache allocator behind
 //!   [`serve::KvPolicy::PagedLru`]: fixed-size pages, a free list,
 //!   per-session page tables and page-LRU victim metadata.
@@ -46,10 +48,14 @@ pub mod session;
 pub mod vit;
 
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterReport, LeastLoadedKv, MigrationPolicy, NoMigration,
-    PlacementPolicy, RoundRobin, SessionAffinity, ToLeastLoaded,
+    Cluster, ClusterConfig, ClusterReport, Colocated, DisaggReport, HandoffStats, LeastLoadedKv,
+    MigrationPolicy, NoMigration, PhaseAssignment, PhasePlacement, PlacementPolicy,
+    PrefillDecodeSplit, RequestSummary, RoundRobin, SessionAffinity, ToLeastLoaded,
 };
 pub use engine::{EngineConfig, LatencyReport, MeadowEngine};
 pub use error::CoreError;
 pub use kv_pages::KvPageAllocator;
-pub use serve::{AdmissionPolicy, KvPolicy, ServeConfig, ServeError, ServeReport, ServeTrace};
+pub use serve::{
+    AdmissionPolicy, KvPolicy, ServeConfig, ServeError, ServeReport, ServeTrace, SpecDecode,
+};
+pub use session::SessionPhase;

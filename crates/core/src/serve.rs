@@ -74,6 +74,7 @@ use crate::cluster::{Cluster, MigrationCtx};
 use crate::engine::{LatencyReport, MeadowEngine};
 use crate::error::CoreError;
 use crate::kv_pages::KvPageAllocator;
+use crate::session::SessionPhase;
 use meadow_dataflow::pipeline::flow_shop_completion_times;
 use meadow_dataflow::LayerLatency;
 use meadow_models::workload::{kv_cache_total_bytes, ArrivalTrace, ServeRequest};
@@ -123,6 +124,25 @@ pub enum ServeError {
         /// The number of chips in the cluster.
         chips: usize,
     },
+    /// A [`SpecDecode`] configuration with a non-sensical parameter: zero
+    /// draft length, an acceptance rate outside `[0, 1]`, or a non-finite
+    /// or negative draft cost ratio.
+    InvalidSpeculation {
+        /// The rejected draft length.
+        draft_len: usize,
+        /// The rejected acceptance rate.
+        acceptance: f64,
+        /// The rejected draft cost ratio.
+        draft_cost_ratio: f64,
+    },
+    /// Disaggregated serving routed both a prefill-stage and a
+    /// decode-stage leg onto the same chip: the two stages simulate
+    /// independently, so one chip cannot host both without double-booking
+    /// its timeline. Phase placements must keep the pools disjoint.
+    PhaseOverlap {
+        /// The chip that received legs from both stages.
+        chip: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -143,6 +163,17 @@ impl fmt::Display for ServeError {
             ServeError::PlacementOutOfRange { chip, chips } => {
                 write!(f, "placement routed a request to chip {chip} of a {chips}-chip cluster")
             }
+            ServeError::InvalidSpeculation { draft_len, acceptance, draft_cost_ratio } => write!(
+                f,
+                "speculation needs draft_len >= 1, acceptance in [0, 1] and a finite \
+                 non-negative draft_cost_ratio, got ({draft_len}, {acceptance}, \
+                 {draft_cost_ratio})"
+            ),
+            ServeError::PhaseOverlap { chip } => write!(
+                f,
+                "phase placement routed both prefill-stage and decode-stage legs to chip {chip}; \
+                 the stage pools must be disjoint"
+            ),
         }
     }
 }
@@ -179,6 +210,59 @@ pub enum AdmissionPolicy {
     },
 }
 
+/// Speculative-decoding model for the per-tick scheduler: a draft model
+/// proposes `draft_len` tokens per verify round and the target engine
+/// verifies them in one memory-bound pass.
+///
+/// The scheduler models the *cost* side of speculation deterministically
+/// (no RNG, so reports stay bit-identical across runs and threads). Each
+/// decode step is one verify round; drafting is pipelined into the verify
+/// pass's memory-bound shadow, so an **accepted** round costs exactly the
+/// baseline decode step. Misses are charged through a per-session credit
+/// accumulator: every round adds `1 - acceptance` of a miss, and whenever
+/// the credit reaches one, a *flush* fires — the wasted draft work
+/// (`draft_len × draft_cost_ratio` of the step's own cycles) is charged to
+/// the step like a KV reload, landing in its TBT and the tick makespan.
+///
+/// `acceptance == 1.0` therefore never accumulates credit and degenerates
+/// **bit-exactly** to the baseline decode loop — the contract
+/// `tests/disagg_invariants.rs` pins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpecDecode {
+    /// Tokens the draft model proposes per verify round (at least 1).
+    pub draft_len: usize,
+    /// Probability a verify round accepts its whole draft, in `[0, 1]`;
+    /// applied as a deterministic per-round miss credit, not sampled.
+    pub acceptance: f64,
+    /// Cost of drafting one token relative to a target decode step (e.g.
+    /// 0.3 for a draft model ~3× smaller); only *wasted* draft work is
+    /// charged, on flush.
+    pub draft_cost_ratio: f64,
+}
+
+impl SpecDecode {
+    /// Validates the speculation parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidSpeculation`] for a zero draft length,
+    /// an acceptance rate outside `[0, 1]`, or a non-finite or negative
+    /// draft cost ratio.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let bad_acceptance =
+            !self.acceptance.is_finite() || !(0.0..=1.0).contains(&self.acceptance);
+        let bad_ratio = !self.draft_cost_ratio.is_finite() || self.draft_cost_ratio < 0.0;
+        if self.draft_len == 0 || bad_acceptance || bad_ratio {
+            return Err(ServeError::InvalidSpeculation {
+                draft_len: self.draft_len,
+                acceptance: self.acceptance,
+                draft_cost_ratio: self.draft_cost_ratio,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -196,6 +280,11 @@ pub struct ServeConfig {
     /// Page size for [`KvPolicy::PagedLru`] spill/reload granularity, in
     /// bytes (ignored by the whole-cache policies).
     pub page_bytes: u64,
+    /// Speculative-decoding cost model (`None` = plain autoregressive
+    /// decode). Missing from pre-speculation serialized configs, so old
+    /// JSON still deserializes.
+    #[serde(default)]
+    pub speculation: Option<SpecDecode>,
 }
 
 impl Default for ServeConfig {
@@ -206,6 +295,7 @@ impl Default for ServeConfig {
             max_batch: usize::MAX,
             admission: AdmissionPolicy::Queue,
             page_bytes: Self::DEFAULT_PAGE_BYTES,
+            speculation: None,
         }
     }
 }
@@ -246,6 +336,11 @@ impl ServeConfig {
         Self { page_bytes, ..self }
     }
 
+    /// The same configuration with a speculative-decoding cost model.
+    pub fn with_speculation(self, speculation: SpecDecode) -> Self {
+        Self { speculation: Some(speculation), ..self }
+    }
+
     /// Construction-time validation: rejects a zero `max_batch`, a zero
     /// `page_bytes` under [`KvPolicy::PagedLru`], and a non-finite or
     /// negative [`AdmissionPolicy::RejectAfter`] SLO with a typed
@@ -268,6 +363,9 @@ impl ServeConfig {
             if !ttft_slo_ms.is_finite() || ttft_slo_ms < 0.0 {
                 return Err(ServeError::InvalidSlo { ttft_slo_ms });
             }
+        }
+        if let Some(spec) = self.speculation {
+            spec.validate()?;
         }
         Ok(())
     }
@@ -396,8 +494,17 @@ impl ServeReport {
 #[derive(Debug, Clone)]
 struct Session {
     req: ServeRequest,
+    /// Which part of the request's lifetime this leg simulates.
+    phase: SessionPhase,
     generated: usize,
     prefilled: bool,
+    /// Decode-only legs start with their prompt KV already delivered (the
+    /// handoff charged it on the NoC); the first paged admission loads it
+    /// without a DRAM fault.
+    kv_preloaded: bool,
+    /// Deterministic speculative-decoding miss credit: grows by
+    /// `1 - acceptance` per verify round, flushes at 1.0.
+    spec_miss_credit: f64,
     rejected: bool,
     evictions: u32,
     /// Sequence number of the most recent (re)admission.
@@ -426,11 +533,16 @@ struct Session {
 }
 
 impl Session {
-    fn new(req: ServeRequest) -> Self {
+    fn new(req: ServeRequest, phase: SessionPhase) -> Self {
         Self {
             req,
+            phase,
             generated: 0,
-            prefilled: false,
+            // A decode-only leg resumes a prefill that already ran
+            // elsewhere: its prompt KV is logically present from the start.
+            prefilled: phase == SessionPhase::DecodeOnly,
+            kv_preloaded: phase == SessionPhase::DecodeOnly,
+            spec_miss_credit: 0.0,
             rejected: false,
             evictions: 0,
             admission_seq: 0,
@@ -559,14 +671,22 @@ pub fn serve(
     Ok(report.per_chip.remove(0).report)
 }
 
-/// The per-chip serving loop shared by [`serve`] and
-/// [`Cluster::serve`](crate::cluster::Cluster::serve): runs `trace` on one
-/// engine, optionally parking spilled KV bytes on remote chips through a
-/// cluster [`MigrationCtx`] instead of DRAM.
+/// The per-chip serving loop shared by [`serve`],
+/// [`Cluster::serve`](crate::cluster::Cluster::serve) and
+/// [`Cluster::serve_disaggregated`](crate::cluster::Cluster::serve_disaggregated):
+/// runs `trace` on one engine, optionally parking spilled KV bytes on
+/// remote chips through a cluster [`MigrationCtx`] instead of DRAM.
+///
+/// `phases` (aligned with `trace.requests`; `None` = all
+/// [`SessionPhase::Full`]) lets disaggregated serving run partial legs:
+/// a `PrefillOnly` leg finishes once its prompt KV and first token are
+/// produced, a `DecodeOnly` leg starts already prefilled with its prompt
+/// KV delivered (the caller charges the handoff on the cluster NoC).
 pub(crate) fn serve_on_chip(
     engine: &MeadowEngine,
     trace: &ArrivalTrace,
     config: &ServeConfig,
+    phases: Option<&[SessionPhase]>,
     mut migration: Option<&mut MigrationCtx<'_>>,
 ) -> Result<ServeReport, CoreError> {
     let model = &engine.config().model;
@@ -609,7 +729,13 @@ pub(crate) fn serve_on_chip(
     let page_bytes = config.page_bytes;
 
     let n = trace.requests.len();
-    let mut sessions: Vec<Session> = trace.requests.iter().map(|&r| Session::new(r)).collect();
+    debug_assert!(phases.is_none_or(|p| p.len() == n), "phases must align with the trace");
+    let mut sessions: Vec<Session> = trace
+        .requests
+        .iter()
+        .enumerate()
+        .map(|(idx, &r)| Session::new(r, phases.map_or(SessionPhase::Full, |p| p[idx])))
+        .collect();
     // Arrival order: by time, ties broken by id for determinism.
     let mut pending: Vec<usize> = (0..n).collect();
     pending.sort_by(|&a, &b| {
@@ -633,6 +759,10 @@ pub(crate) fn serve_on_chip(
     let mut page_faults: u64 = 0;
     let mut rejected: u64 = 0;
     let mut settled = 0usize;
+    // Completion bitset: O(1) membership for the per-tick removal below
+    // (the retain over `active` used to scan the `finished` list per
+    // element, O(active × finished) every tick).
+    let mut done = vec![false; n];
 
     while settled < n {
         tick += 1;
@@ -696,6 +826,12 @@ pub(crate) fn serve_on_chip(
                     (s.last_step_tick, s.admission_seq, s.req.id),
                 )
                 .expect("pool is sized for the whole trace");
+                if std::mem::take(&mut s.kv_preloaded) {
+                    // A decode-only leg's prompt KV arrived over the NoC
+                    // handoff: its first admission loads without a DRAM
+                    // fault. Later evictions spill and fault normally.
+                    s.loaded_bytes = kv;
+                }
             } else {
                 // A re-admitted session must reload its spilled cache.
                 s.pending_reload_bytes = s.spilled_kv_bytes;
@@ -909,12 +1045,34 @@ pub(crate) fn serve_on_chip(
         });
         let mut matrix: Vec<Vec<Cycles>> = Vec::with_capacity(step_set.len());
         let mut solo_ms: Vec<f64> = Vec::with_capacity(step_set.len());
-        for (report, &reload) in measured.into_iter().zip(&reload_cycles) {
+        for ((&i, report), &reload) in step_set.iter().zip(measured).zip(&reload_cycles) {
             let report = report?;
             let mut row: Vec<Cycles> = report.layers.iter().map(LayerLatency::makespan).collect();
-            // The reload must land before the first layer can run.
-            row[0] += reload;
-            solo_ms.push(report.total_ms() + clock.to_ms(reload));
+            let mut stall = reload;
+            // Speculative decoding: each decode step is one verify round.
+            // Accepted rounds ride in the verify pass's memory-bound shadow
+            // for free; the deterministic miss credit fires a flush every
+            // `1 / (1 - acceptance)` rounds, charging the wasted draft work
+            // up front like a reload. At acceptance 1.0 the credit never
+            // grows and this block is arithmetic-free — the bit-exact
+            // degeneracy contract.
+            if let Some(spec) = config.speculation {
+                let s = &mut sessions[i];
+                if s.prefilled {
+                    s.spec_miss_credit += 1.0 - spec.acceptance;
+                    if s.spec_miss_credit >= 1.0 {
+                        s.spec_miss_credit -= 1.0;
+                        let step: u64 = row.iter().map(|c| c.get()).sum();
+                        let waste =
+                            (step as f64 * spec.draft_len as f64 * spec.draft_cost_ratio).round();
+                        stall += Cycles(waste as u64);
+                    }
+                }
+            }
+            // The reload (and any speculation flush) must land before the
+            // first layer can run.
+            row[0] += stall;
+            solo_ms.push(report.total_ms() + clock.to_ms(stall));
             ledger.merge(&report.ledger);
             matrix.push(row);
         }
@@ -933,11 +1091,20 @@ pub(crate) fn serve_on_chip(
                 if s.generated == s.req.generate_tokens {
                     s.finish_ms = done_ms;
                     finished.push(i);
+                    done[i] = true;
                 }
             } else {
                 s.prefilled = true;
                 s.prefill_ms = own_ms;
                 s.first_token_ms = done_ms;
+                if s.phase == SessionPhase::PrefillOnly {
+                    // The prefill leg's job ends here: its prompt KV and
+                    // first token exist, and the cache leaves over the NoC
+                    // (the disaggregation driver charges the handoff).
+                    s.finish_ms = done_ms;
+                    finished.push(i);
+                    done[i] = true;
+                }
             }
             if paged {
                 // The step's own KV writes land on chip as part of the
@@ -965,7 +1132,7 @@ pub(crate) fn serve_on_chip(
             frag_peak = frag_peak.max(frag);
             debug_assert!(pool.conserves_pages(), "page tables must conserve the pool");
         }
-        active.retain(|i| !finished.contains(i));
+        active.retain(|&i| !done[i]);
         if let Some(pool) = pages.as_mut() {
             for &i in &finished {
                 pool.release(sessions[i].req.id);
@@ -992,10 +1159,13 @@ pub(crate) fn serve_on_chip(
             finish_ms: s.finish_ms,
             tbt_ms: s.tbt_ms.clone(),
             evictions: s.evictions,
+            // Prompt plus tokens actually generated: equals
+            // `final_context_len()` for full and decode legs, and the
+            // prompt alone for a prefill-only leg (its handoff payload).
             final_kv_bytes: if s.rejected {
                 0
             } else {
-                kv_cache_total_bytes(model, s.req.final_context_len())
+                kv_cache_total_bytes(model, s.req.prompt_tokens + s.generated)
             },
         })
         .collect();
@@ -1267,5 +1437,62 @@ mod tests {
         assert_eq!(percentile(&[3.0], 0.5), 3.0);
         assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.0);
         assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.95), 4.0);
+    }
+
+    #[test]
+    fn speculation_validation_rejects_bad_configs() {
+        let ok = SpecDecode { draft_len: 4, acceptance: 0.7, draft_cost_ratio: 0.25 };
+        assert!(ok.validate().is_ok());
+        let cases = [
+            SpecDecode { draft_len: 0, ..ok },
+            SpecDecode { acceptance: -0.1, ..ok },
+            SpecDecode { acceptance: 1.1, ..ok },
+            SpecDecode { acceptance: f64::NAN, ..ok },
+            SpecDecode { draft_cost_ratio: -0.5, ..ok },
+            SpecDecode { draft_cost_ratio: f64::INFINITY, ..ok },
+        ];
+        for bad in cases {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+            // The serving entry point rejects it too.
+            let trace = ArrivalTrace::uniform(1, 0.0, 8, 2);
+            let config = ServeConfig::default().with_speculation(bad);
+            assert!(serve(&engine(), &trace, &config).is_err());
+        }
+    }
+
+    #[test]
+    fn full_acceptance_speculation_is_bit_identical_to_baseline() {
+        let e = engine();
+        let trace = ArrivalTrace::uniform(4, 0.0, 16, 8);
+        let base = ServeConfig::default().with_max_batch(2);
+        let baseline = serve(&e, &trace, &base).unwrap();
+        let spec = SpecDecode { draft_len: 8, acceptance: 1.0, draft_cost_ratio: 0.5 };
+        let accepted = serve(&e, &trace, &base.with_speculation(spec)).unwrap();
+        assert_eq!(baseline, accepted, "acceptance 1.0 must never flush a draft");
+        assert_eq!(baseline.to_json().unwrap(), accepted.to_json().unwrap());
+    }
+
+    #[test]
+    fn lower_acceptance_slows_decode_monotonically() {
+        let e = engine();
+        let trace = ArrivalTrace::uniform(3, 0.0, 16, 12);
+        let base = ServeConfig::default();
+        let spec = |acceptance: f64| SpecDecode { draft_len: 4, acceptance, draft_cost_ratio: 0.5 };
+        let mut prev_makespan = serve(&e, &trace, &base).unwrap().makespan_ms;
+        for acceptance in [0.9, 0.5, 0.1] {
+            let report = serve(&e, &trace, &base.with_speculation(spec(acceptance))).unwrap();
+            assert!(
+                report.makespan_ms >= prev_makespan,
+                "acceptance {acceptance} makespan {} regressed below {prev_makespan}",
+                report.makespan_ms
+            );
+            // The flush penalty rides own-service decode latency, not TTFT.
+            assert_eq!(report.total_generated_tokens, 3 * 12);
+            prev_makespan = report.makespan_ms;
+        }
+        // And a flush really happened at low acceptance.
+        let flushed = serve(&e, &trace, &base.with_speculation(spec(0.1))).unwrap();
+        let clean = serve(&e, &trace, &base).unwrap();
+        assert!(flushed.makespan_ms > clean.makespan_ms, "misses must cost cycles");
     }
 }

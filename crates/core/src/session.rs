@@ -38,6 +38,29 @@ use crate::error::CoreError;
 use meadow_models::workload::kv_cache_total_bytes;
 use serde::{Deserialize, Serialize};
 
+/// Which part of a session's lifetime one serving leg covers.
+///
+/// A session's reference walk is prefill once, then decode token by token
+/// (see [`InferenceSession`]). Disaggregated serving
+/// ([`Cluster::serve_disaggregated`](crate::cluster::Cluster::serve_disaggregated))
+/// may split that walk across chips: the prefill leg runs on one chip, the
+/// KV cache hands off over the NoC, and the decode leg resumes on another.
+/// `Full` is the colocated default — both phases on one chip — and is what
+/// every pre-disaggregation serving path uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SessionPhase {
+    /// Prefill and decode both run on this chip (colocated serving).
+    #[default]
+    Full,
+    /// Only the prefill runs here: the leg finishes once the prompt's KV
+    /// cache (and first token) are produced, and the cache leaves over the
+    /// NoC.
+    PrefillOnly,
+    /// Only the decode runs here: the session starts already prefilled,
+    /// its prompt KV delivered by the handoff, and generates every token.
+    DecodeOnly,
+}
+
 /// Latency trace of one generation request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionTrace {

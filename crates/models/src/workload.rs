@@ -185,6 +185,13 @@ impl ServeRequest {
         kv_cache_total_bytes(config, self.final_context_len())
     }
 
+    /// KV-cache bytes the prompt alone occupies on `config` — what prefill
+    /// produces, and therefore the payload of a prefill→decode KV handoff
+    /// when the two phases run on different chips (disaggregated serving).
+    pub fn prompt_kv_bytes(&self, config: &TransformerConfig) -> u64 {
+        kv_cache_total_bytes(config, self.prompt_tokens)
+    }
+
     /// Validates the request against a model configuration.
     ///
     /// # Errors

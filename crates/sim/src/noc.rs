@@ -92,10 +92,14 @@ impl Noc {
     }
 
     /// Performs an accounted store-and-forward transfer of `bytes` across
-    /// `hops` links (the cluster serving layer charges cross-chip KV-cache
-    /// migration this way). Every hop's link is charged for the full
-    /// payload, so `total_bytes` grows by `bytes * hops` — the aggregate
-    /// link-level traffic the migration actually put on the interconnect.
+    /// `hops` links (the cluster serving layer charges both cross-chip
+    /// KV-cache migration and the prefill→decode KV handoff of
+    /// disaggregated serving this way). Every hop's link is charged for
+    /// the full payload, so `total_bytes` grows by `bytes * hops` — the
+    /// aggregate link-level traffic the transfer actually put on the
+    /// interconnect. Zero hops (same endpoint) moves nothing and charges
+    /// nothing, which is why callers that route between *distinct* chips
+    /// must never present `hops == 0` for a real transfer.
     pub fn transfer_hops(&mut self, bytes: u64, hops: u32) -> Cycles {
         let mut total = Cycles::ZERO;
         for _ in 0..hops {

@@ -13,9 +13,10 @@
 //! * [`core`] — the `MeadowEngine`, dataflow planner, roofline model, the
 //!   CTA / FlightLLM prior-work baselines, and the serving stack: the
 //!   multi-session simulator (continuous batching, paged KV-cache
-//!   budgets, SLO-aware admission) and the cluster API (`core::cluster`:
-//!   session-pool sharding across simulated chips with pluggable
-//!   placement and NoC-charged migration).
+//!   budgets, SLO-aware admission, speculative decoding) and the cluster
+//!   API (`core::cluster`: session-pool sharding across simulated chips
+//!   with pluggable placement, NoC-charged migration, and prefill/decode
+//!   disaggregation with a NoC-charged KV handoff).
 //!
 //! # Quickstart
 //!

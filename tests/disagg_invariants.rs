@@ -1,0 +1,295 @@
+//! Property suite for prefill/decode disaggregation and speculative
+//! decoding: the `Colocated` degeneracy (a disaggregated run under the
+//! default phase placement reproduces `Cluster::serve` bit-exactly),
+//! token-for-token service equality of split vs colocated serving,
+//! acceptance-1.0 speculation bit-identity, exact KV-handoff byte
+//! conservation, and `MEADOW_THREADS` bit-identity of the `DisaggReport`.
+
+mod common;
+
+use common::requests_from_seed;
+use meadow::core::cluster::{
+    Cluster, ClusterConfig, Colocated, LeastLoadedKv, PrefillDecodeSplit, RoundRobin,
+    SessionAffinity,
+};
+use meadow::core::serve::{KvPolicy, ServeConfig, SpecDecode};
+use meadow::core::{EngineConfig, MeadowEngine};
+use meadow::models::presets;
+use meadow::models::workload::ArrivalTrace;
+use meadow::sim::noc::NocConfig;
+use meadow::tensor::parallel::ExecConfig;
+use proptest::prelude::*;
+
+fn engine() -> MeadowEngine {
+    MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap()
+}
+
+/// Up to 5 requests with ragged lengths and staggered arrivals.
+fn staggered_trace(seed: u64, n: usize) -> ArrivalTrace {
+    requests_from_seed(seed, n, 24, 8, 0.5)
+}
+
+/// A budget between "largest single request" and "everything at once".
+fn contended_budget(trace: &ArrivalTrace) -> u64 {
+    let model = presets::tiny_decoder();
+    let single_max = trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap();
+    single_max + (trace.total_peak_kv_bytes(&model) - single_max) / 4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Acceptance criterion: under the default `Colocated` phase
+    /// placement, `serve_disaggregated` degenerates to `Cluster::serve`
+    /// bit-exactly — the prefill stage carries the identical report (and
+    /// serialized bytes), no decode stage exists, and no handoff traffic
+    /// ever touches the NoC.
+    #[test]
+    fn colocated_disagg_reproduces_serve_bit_exactly(
+        seed in 0u64..500,
+        n in 1usize..6,
+        chips in 1usize..4,
+        placement_idx in 0u8..3,
+        paged in any::<bool>(),
+    ) {
+        let trace = staggered_trace(seed, n);
+        let mut serve_config = ServeConfig::default()
+            .with_budget(contended_budget(&trace))
+            .with_max_batch(2);
+        if paged {
+            serve_config = serve_config.with_policy(KvPolicy::PagedLru).with_page_bytes(256);
+        }
+        let build = || {
+            let builder = ClusterConfig::builder()
+                .chips(chips)
+                .serve(serve_config)
+                .phase_placement(Colocated);
+            match placement_idx % 3 {
+                0 => builder.placement(RoundRobin),
+                1 => builder.placement(LeastLoadedKv),
+                _ => builder.placement(SessionAffinity),
+            }
+            .build()
+            .unwrap()
+        };
+        let baseline = Cluster::new(engine(), build()).serve(&trace).unwrap();
+        let disagg = Cluster::new(engine(), build()).serve_disaggregated(&trace).unwrap();
+        prop_assert_eq!(&disagg.prefill_stage, &baseline);
+        prop_assert_eq!(
+            disagg.prefill_stage.to_json().unwrap(),
+            baseline.to_json().unwrap()
+        );
+        prop_assert!(disagg.decode_stage.is_none());
+        prop_assert_eq!(disagg.split_requests, 0);
+        prop_assert_eq!(disagg.handoff.split_requests, 0);
+        prop_assert_eq!(disagg.handoff.handoff_bytes, 0);
+        prop_assert_eq!(disagg.handoff.noc_link_bytes, 0);
+        prop_assert_eq!(disagg.total_generated_tokens, baseline.total_generated_tokens);
+        prop_assert_eq!(disagg.makespan_ms, baseline.makespan_ms);
+    }
+
+    /// Token-for-token service equality: with unbounded budgets (no
+    /// eviction, no reload stalls) every request's own prefill latency and
+    /// per-token decode latencies are bit-equal between a colocated run
+    /// and a disaggregated split — the handoff moves the work, it never
+    /// changes it.
+    #[test]
+    fn split_serving_matches_colocated_token_for_token(
+        seed in 0u64..500,
+        n in 1usize..6,
+        decode_chips in 1usize..3,
+    ) {
+        let trace = staggered_trace(seed, n);
+        let chips = 1 + decode_chips;
+        let colocated = Cluster::new(
+            engine(),
+            ClusterConfig::builder().chips(chips).build().unwrap(),
+        )
+        .serve(&trace)
+        .unwrap();
+        let split = Cluster::new(
+            engine(),
+            ClusterConfig::builder()
+                .chips(chips)
+                .phase_placement(PrefillDecodeSplit { prefill_chips: 1 })
+                .build()
+                .unwrap(),
+        )
+        .serve_disaggregated(&trace)
+        .unwrap();
+        prop_assert_eq!(split.split_requests as usize, n);
+        let decode_stage = split.decode_stage.as_ref().unwrap();
+        for req in &trace.requests {
+            let base = colocated.trace(req.id).unwrap();
+            let pre = split.prefill_stage.trace(req.id).unwrap();
+            let dec = decode_stage.trace(req.id).unwrap();
+            prop_assert_eq!(pre.prefill_ms, base.prefill_ms, "request {}", req.id);
+            prop_assert_eq!(pre.generated_tokens, 0);
+            prop_assert_eq!(&dec.tbt_ms, &base.tbt_ms, "request {}", req.id);
+            prop_assert_eq!(dec.generated_tokens, req.generate_tokens);
+        }
+    }
+
+    /// Absolute-clock check for a solo request on an (effectively) free
+    /// NoC: the split run finishes exactly one handoff later than the
+    /// colocated run — no hidden cost appears or disappears at the phase
+    /// boundary. (Exactly zero handoff is impossible: a non-empty
+    /// transfer always costs at least one link cycle.)
+    #[test]
+    fn solo_split_finish_is_colocated_finish_plus_handoff(
+        seed in 0u64..500,
+    ) {
+        let trace = staggered_trace(seed, 1);
+        let fast_noc = NocConfig { link_bytes_per_cycle: u64::MAX, links: 196 };
+        let colocated = Cluster::new(
+            engine(),
+            ClusterConfig::builder().chips(2).noc(fast_noc).build().unwrap(),
+        )
+        .serve(&trace)
+        .unwrap();
+        let split = Cluster::new(
+            engine(),
+            ClusterConfig::builder()
+                .chips(2)
+                .noc(fast_noc)
+                .phase_placement(PrefillDecodeSplit { prefill_chips: 1 })
+                .build()
+                .unwrap(),
+        )
+        .serve_disaggregated(&trace)
+        .unwrap();
+        let id = trace.requests[0].id;
+        let base = colocated.trace(id).unwrap();
+        let s = split.summary(id).unwrap();
+        prop_assert!(s.handoff_ms > 0.0, "a non-empty transfer costs at least one cycle");
+        let drift = (s.finish_ms - s.handoff_ms - base.finish_ms).abs();
+        prop_assert!(
+            drift < 1e-9,
+            "split finish {} != colocated finish {} + handoff {}",
+            s.finish_ms,
+            base.finish_ms,
+            s.handoff_ms
+        );
+        prop_assert_eq!(s.ttft_ms, base.ttft_ms());
+    }
+
+    /// Acceptance criterion: speculative decoding with acceptance 1.0
+    /// never flushes a draft, so the whole cluster run — report and
+    /// serialized bytes — is bit-identical to the baseline decode loop.
+    #[test]
+    fn full_acceptance_speculation_is_bit_identical(
+        seed in 0u64..500,
+        n in 1usize..6,
+        chips in 1usize..4,
+        draft_len in 1usize..16,
+    ) {
+        let trace = staggered_trace(seed, n);
+        let build = |spec: Option<SpecDecode>| {
+            let mut serve_config = ServeConfig::default()
+                .with_budget(contended_budget(&trace))
+                .with_policy(KvPolicy::PagedLru)
+                .with_page_bytes(256);
+            if let Some(spec) = spec {
+                serve_config = serve_config.with_speculation(spec);
+            }
+            ClusterConfig::builder()
+                .chips(chips)
+                .serve(serve_config)
+                .placement(LeastLoadedKv)
+                .build()
+                .unwrap()
+        };
+        let spec = SpecDecode { draft_len, acceptance: 1.0, draft_cost_ratio: 0.5 };
+        let baseline = Cluster::new(engine(), build(None)).serve(&trace).unwrap();
+        let accepted = Cluster::new(engine(), build(Some(spec))).serve(&trace).unwrap();
+        prop_assert_eq!(&accepted, &baseline);
+        prop_assert_eq!(accepted.to_json().unwrap(), baseline.to_json().unwrap());
+    }
+
+    /// Exact handoff conservation: the payload bytes equal the sum of the
+    /// split requests' prompt KV (each handed off exactly once), and the
+    /// link-level bytes equal payload × hop distance, request by request.
+    #[test]
+    fn handoff_bytes_conserve_exactly(
+        seed in 0u64..500,
+        n in 1usize..6,
+        prefill_chips in 1usize..3,
+        decode_chips in 1usize..3,
+    ) {
+        let model = presets::tiny_decoder();
+        let trace = staggered_trace(seed, n);
+        let config = ClusterConfig::builder()
+            .chips(prefill_chips + decode_chips)
+            .phase_placement(PrefillDecodeSplit { prefill_chips })
+            .build()
+            .unwrap();
+        let report = Cluster::new(engine(), config).serve_disaggregated(&trace).unwrap();
+        // Queue admission (the default) never rejects: every request
+        // splits and hands off.
+        prop_assert_eq!(report.split_requests as usize, n);
+        prop_assert_eq!(report.handoff.split_requests as usize, n);
+        let mut payload = 0u64;
+        let mut link = 0u64;
+        for req in &trace.requests {
+            let s = report.summary(req.id).unwrap();
+            prop_assert!(s.prefill_chip < prefill_chips);
+            prop_assert!(s.decode_chip >= prefill_chips);
+            let bytes = req.prompt_kv_bytes(&model);
+            payload += bytes;
+            link += bytes * (s.decode_chip - s.prefill_chip) as u64;
+        }
+        prop_assert_eq!(report.handoff.handoff_bytes, payload);
+        prop_assert_eq!(report.handoff.noc_link_bytes, link);
+        prop_assert_eq!(report.total_generated_tokens,
+            trace.requests.iter().map(|r| r.generate_tokens as u64).sum::<u64>());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Acceptance criterion: the `DisaggReport` — including its
+    /// serialized bytes — is bit-identical across `MEADOW_THREADS`.
+    #[test]
+    fn disagg_report_is_bit_identical_across_threads(
+        seed in 0u64..200,
+        n in 1usize..5,
+        decode_chips in 1usize..3,
+        speculate in any::<bool>(),
+    ) {
+        let trace = staggered_trace(seed, n);
+        let build = |threads: usize| {
+            let e = MeadowEngine::new(
+                EngineConfig::zcu102(presets::tiny_decoder(), 12.0)
+                    .with_exec(ExecConfig::with_threads(threads)),
+            )
+            .unwrap();
+            let mut serve_config = ServeConfig::default();
+            if speculate {
+                serve_config = serve_config.with_speculation(SpecDecode {
+                    draft_len: 4,
+                    acceptance: 0.6,
+                    draft_cost_ratio: 0.5,
+                });
+            }
+            let config = ClusterConfig::builder()
+                .chips(1 + decode_chips)
+                .serve(serve_config)
+                .phase_placement(PrefillDecodeSplit { prefill_chips: 1 })
+                .build()
+                .unwrap();
+            Cluster::new(e, config)
+        };
+        let reference = build(1).serve_disaggregated(&trace).unwrap();
+        for threads in [2usize, 4, 8] {
+            let report = build(threads).serve_disaggregated(&trace).unwrap();
+            prop_assert_eq!(&report, &reference, "threads {}", threads);
+            prop_assert_eq!(
+                report.to_json().unwrap(),
+                reference.to_json().unwrap(),
+                "serialized bytes, threads {}",
+                threads
+            );
+        }
+    }
+}
