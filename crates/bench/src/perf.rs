@@ -18,20 +18,22 @@
 //! [`find_regressions`] gate remains available via `perfbench --gate
 //! absolute` for same-machine comparisons.
 
-use meadow_core::cluster::{
-    Cluster, ClusterConfig, PrefillDecodeSplit, SessionAffinity, ToLeastLoaded,
-};
-use meadow_core::serve::{serve, KvPolicy, ServeConfig, SpecDecode};
+use meadow_core::cluster::{PrefillDecodeSplit, SessionAffinity, ToLeastLoaded};
+use meadow_core::serve::{AdmissionPolicy, KvPolicy, SchedulerCore, ServeConfig, SpecDecode};
+use meadow_core::spec::ServeSpec;
 use meadow_core::{EngineConfig, MeadowEngine};
 use meadow_dataflow::forward::{batch_model_forward, model_forward, ForwardMode, ForwardScales};
 use meadow_models::presets;
 use meadow_models::weights::ModelWeights;
 use meadow_models::workload::ArrivalTrace;
+use meadow_models::workload::ZipfLengths;
 use meadow_packing::chunk::{decompose, decompose_with, ChunkConfig};
 use meadow_tensor::fixed::ExpLut;
 use meadow_tensor::gemm::{matmul_i8_tiled, matmul_i8_tiled_with};
 use meadow_tensor::parallel::ExecConfig;
 use meadow_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -239,15 +241,16 @@ fn serve_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     let trace = ArrivalTrace::uniform(requests, 0.01, 16, generate);
     let budget = trace.total_peak_kv_bytes(&model) / 2;
     let config = ServeConfig::default().with_budget(budget);
+    let spec = ServeSpec::builder().config(config).build().expect("valid spec");
     let serial_engine =
         MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).expect("valid engine");
     let parallel_engine = MeadowEngine::new(EngineConfig::zcu102(model, 12.0).with_exec(*exec))
         .expect("valid engine");
     let serial = time_trials(opts.warmup, opts.trials, || {
-        std::hint::black_box(serve(&serial_engine, &trace, &config).expect("serve succeeds"));
+        std::hint::black_box(spec.run(&serial_engine, &trace).expect("serve succeeds"));
     });
     let parallel = time_trials(opts.warmup, opts.trials, || {
-        std::hint::black_box(serve(&parallel_engine, &trace, &config).expect("serve succeeds"));
+        std::hint::black_box(spec.run(&parallel_engine, &trace).expect("serve succeeds"));
     });
     named_case(format!("serve_continuous_batch_{requests}x{generate}"), serial, parallel)
 }
@@ -265,15 +268,16 @@ fn serve_paged_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
         .with_policy(KvPolicy::PagedLru)
         .with_page_bytes(256)
         .with_max_batch(requests / 2);
+    let spec = ServeSpec::builder().config(config).build().expect("valid spec");
     let serial_engine =
         MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).expect("valid engine");
     let parallel_engine = MeadowEngine::new(EngineConfig::zcu102(model, 12.0).with_exec(*exec))
         .expect("valid engine");
     let serial = time_trials(opts.warmup, opts.trials, || {
-        std::hint::black_box(serve(&serial_engine, &trace, &config).expect("serve succeeds"));
+        std::hint::black_box(spec.run(&serial_engine, &trace).expect("serve succeeds"));
     });
     let parallel = time_trials(opts.warmup, opts.trials, || {
-        std::hint::black_box(serve(&parallel_engine, &trace, &config).expect("serve succeeds"));
+        std::hint::black_box(spec.run(&parallel_engine, &trace).expect("serve succeeds"));
     });
     named_case(format!("serve_paged_{requests}x{generate}"), serial, parallel)
 }
@@ -296,25 +300,24 @@ fn serve_cluster_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
         .with_policy(KvPolicy::PagedLru)
         .with_page_bytes(256)
         .with_max_batch(2);
-    let cluster_for = |exec: ExecConfig| {
-        let engine = MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0).with_exec(exec))
-            .expect("valid engine");
-        let config = ClusterConfig::builder()
-            .chips(3)
-            .serve(serve_config)
-            .placement(SessionAffinity)
-            .migration(ToLeastLoaded)
-            .build()
-            .expect("valid cluster config");
-        Cluster::new(engine, config)
+    let spec = ServeSpec::builder()
+        .chips(3)
+        .config(serve_config)
+        .placement(SessionAffinity)
+        .migration(ToLeastLoaded)
+        .build()
+        .expect("valid spec");
+    let engine_for = |exec: ExecConfig| {
+        MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0).with_exec(exec))
+            .expect("valid engine")
     };
-    let serial_cluster = cluster_for(ExecConfig::serial());
-    let parallel_cluster = cluster_for(*exec);
+    let serial_engine = engine_for(ExecConfig::serial());
+    let parallel_engine = engine_for(*exec);
     let serial = time_trials(opts.warmup, opts.trials, || {
-        std::hint::black_box(serial_cluster.serve(&trace).expect("serve succeeds"));
+        std::hint::black_box(spec.run(&serial_engine, &trace).expect("serve succeeds"));
     });
     let parallel = time_trials(opts.warmup, opts.trials, || {
-        std::hint::black_box(parallel_cluster.serve(&trace).expect("serve succeeds"));
+        std::hint::black_box(spec.run(&parallel_engine, &trace).expect("serve succeeds"));
     });
     named_case(format!("serve_cluster_3x{requests}x{generate}"), serial, parallel)
 }
@@ -333,26 +336,79 @@ fn serve_disagg_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
         acceptance: 0.7,
         draft_cost_ratio: 0.5,
     });
-    let cluster_for = |exec: ExecConfig| {
-        let engine = MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0).with_exec(exec))
-            .expect("valid engine");
-        let config = ClusterConfig::builder()
-            .chips(3)
-            .serve(serve_config)
-            .phase_placement(PrefillDecodeSplit { prefill_chips: 1 })
-            .build()
-            .expect("valid cluster config");
-        Cluster::new(engine, config)
+    let spec = ServeSpec::builder()
+        .chips(3)
+        .config(serve_config)
+        .phases(PrefillDecodeSplit { prefill_chips: 1 })
+        .build()
+        .expect("valid spec");
+    let engine_for = |exec: ExecConfig| {
+        MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0).with_exec(exec))
+            .expect("valid engine")
     };
-    let serial_cluster = cluster_for(ExecConfig::serial());
-    let parallel_cluster = cluster_for(*exec);
+    let serial_engine = engine_for(ExecConfig::serial());
+    let parallel_engine = engine_for(*exec);
     let serial = time_trials(opts.warmup, opts.trials, || {
-        std::hint::black_box(serial_cluster.serve_disaggregated(&trace).expect("serve succeeds"));
+        std::hint::black_box(spec.run(&serial_engine, &trace).expect("serve succeeds"));
     });
     let parallel = time_trials(opts.warmup, opts.trials, || {
-        std::hint::black_box(parallel_cluster.serve_disaggregated(&trace).expect("serve succeeds"));
+        std::hint::black_box(spec.run(&parallel_engine, &trace).expect("serve succeeds"));
     });
     named_case(format!("serve_disagg_3x{requests}x{generate}"), serial, parallel)
+}
+
+/// The event-core scaling case: one long open-loop Poisson trace through
+/// both scheduler cores. Unlike every other case, the two variants here
+/// are not serial-vs-parallel threading but **tick-scan vs event-driven
+/// scheduling** on the same engine: `serial` runs [`SchedulerCore::Tick`]
+/// (the O(resident × ticks) oracle) and `parallel` runs
+/// [`SchedulerCore::Event`], so the committed baseline ratio locks in the
+/// event core's advantage and the CI ratio gate fails if it erodes. The
+/// narrow length distribution is deliberate — it maximizes step-shape
+/// reuse, the axis the event core's measurement memo exploits, which is
+/// exactly the million-request regime the core exists for. The full-size
+/// trace (100k requests) makes the tick variant minutes-scale; CI runs
+/// `--quick` (2k requests).
+fn serve_1m_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let requests = if opts.quick { 2_000 } else { 100_000 };
+    let model = presets::tiny_decoder();
+    let lengths = ZipfLengths {
+        prompt_min: 16,
+        prompt_max: 32,
+        generate_min: 4,
+        generate_max: 16,
+        exponent: 1.1,
+    };
+    let trace = ArrivalTrace::open_loop(
+        requests,
+        10_000.0,
+        &lengths,
+        &mut StdRng::seed_from_u64(1_000_000),
+    )
+    .expect("workload parameters are valid");
+    let single_max = trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap_or(0);
+    // Open-loop overload with a bounded budget, batch cap and a tight TTFT
+    // SLO: admission queues, the SLO sheds the backlog, and eviction
+    // churns — every scheduler path is hot.
+    let config = ServeConfig::default()
+        .with_budget(8 * single_max)
+        .with_policy(KvPolicy::Lru)
+        .with_max_batch(8)
+        .with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 5.0 });
+    let engine = MeadowEngine::new(EngineConfig::zcu102(model, 12.0).with_exec(*exec))
+        .expect("valid engine");
+    let spec_for = |core: SchedulerCore| {
+        ServeSpec::builder().config(config).scheduler(core).build().expect("valid spec")
+    };
+    let tick = spec_for(SchedulerCore::Tick);
+    let event = spec_for(SchedulerCore::Event);
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(tick.run(&engine, &trace).expect("serve succeeds"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(event.run(&engine, &trace).expect("serve succeeds"));
+    });
+    named_case(format!("serve_1m_open_loop_{requests}"), serial, parallel)
 }
 
 fn named_case(name: String, serial: TimingStats, parallel: TimingStats) -> BenchCase {
@@ -372,6 +428,7 @@ pub fn run_suite(bench_id: &str, opts: &PerfOptions) -> BenchReport {
         serve_paged_case(opts, &exec),
         serve_cluster_case(opts, &exec),
         serve_disagg_case(opts, &exec),
+        serve_1m_case(opts, &exec),
     ];
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -522,7 +579,7 @@ mod tests {
     fn suite_emits_versioned_round_trippable_json() {
         let report = run_suite("test", &quick_opts());
         assert_eq!(report.schema_version, SCHEMA_VERSION);
-        assert_eq!(report.cases.len(), 7);
+        assert_eq!(report.cases.len(), 8);
         assert!(report.cases.iter().all(|c| c.speedup > 0.0));
         assert_eq!(report.file_name(), "BENCH_test.json");
         let json = report.to_json().unwrap();
@@ -542,7 +599,7 @@ mod tests {
         assert_eq!(tree.get("threads").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(tree.get("quick").and_then(|v| v.as_bool()), Some(true));
         let cases = tree.get("cases").and_then(|v| v.as_seq()).unwrap();
-        assert_eq!(cases.len(), 7);
+        assert_eq!(cases.len(), 8);
         for case in cases {
             assert!(case.get("name").and_then(|v| v.as_str()).is_some());
             for variant in ["serial", "parallel"] {

@@ -76,7 +76,9 @@
 //! ```
 
 use crate::error::CoreError;
-use crate::serve::{percentile, serve_on_chip, ServeConfig, ServeError, ServeReport, ServeTrace};
+use crate::serve::{
+    serve_on_chip, LatencySummary, SchedulerCore, ServeConfig, ServeError, ServeReport, ServeTrace,
+};
 use crate::session::SessionPhase;
 use crate::MeadowEngine;
 use meadow_models::workload::{ArrivalTrace, ServeRequest};
@@ -86,6 +88,7 @@ use meadow_tensor::parallel::{par_map, ExecConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Placement-relevant load snapshot of one chip, updated as requests are
 /// assigned (in arrival order) and handed to
@@ -528,6 +531,7 @@ pub struct ClusterConfig {
     migration: Box<dyn MigrationPolicy>,
     phase_placement: Box<dyn PhasePlacement>,
     noc: NocConfig,
+    scheduler: SchedulerCore,
 }
 
 impl ClusterConfig {
@@ -567,6 +571,11 @@ impl ClusterConfig {
     pub fn noc(&self) -> NocConfig {
         self.noc
     }
+
+    /// Which scheduler core each chip's serving loop runs on.
+    pub fn scheduler(&self) -> SchedulerCore {
+        self.scheduler
+    }
 }
 
 /// Builder for [`ClusterConfig`] — see [`ClusterConfig::builder`].
@@ -578,6 +587,7 @@ pub struct ClusterConfigBuilder {
     migration: Box<dyn MigrationPolicy>,
     phase_placement: Box<dyn PhasePlacement>,
     noc: NocConfig,
+    scheduler: SchedulerCore,
 }
 
 impl Default for ClusterConfigBuilder {
@@ -589,6 +599,7 @@ impl Default for ClusterConfigBuilder {
             migration: Box::new(NoMigration),
             phase_placement: Box::new(Colocated),
             noc: NocConfig::default(),
+            scheduler: SchedulerCore::default(),
         }
     }
 }
@@ -632,6 +643,14 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Selects the scheduler core each chip's serving loop runs on
+    /// (defaults to [`SchedulerCore::Event`]; the two cores produce
+    /// bit-identical reports, so this is a performance knob).
+    pub fn scheduler(mut self, scheduler: SchedulerCore) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Validates and finishes the configuration.
     ///
     /// # Errors
@@ -651,6 +670,7 @@ impl ClusterConfigBuilder {
             migration: self.migration,
             phase_placement: self.phase_placement,
             noc: self.noc,
+            scheduler: self.scheduler,
         })
     }
 }
@@ -877,7 +897,7 @@ impl DisaggReport {
 #[derive(Debug)]
 pub struct Cluster {
     nodes: Vec<ChipNode>,
-    config: ClusterConfig,
+    config: Arc<ClusterConfig>,
     /// The engine's original execution policy: drives the per-chip
     /// fan-out, while each node's engine gets an even share of its thread
     /// budget (see [`Cluster::new`]).
@@ -895,6 +915,13 @@ impl Cluster {
     /// multiplying to `chips × threads`. A one-chip cluster leaves the
     /// engine untouched.
     pub fn new(engine: MeadowEngine, config: ClusterConfig) -> Self {
+        Self::from_shared(engine, Arc::new(config))
+    }
+
+    /// Shared-config constructor behind [`ServeSpec`](crate::spec::ServeSpec):
+    /// a spec can be run many times (the perf bench repeats trials) without
+    /// rebuilding the boxed policy objects each run.
+    pub(crate) fn from_shared(engine: MeadowEngine, config: Arc<ClusterConfig>) -> Self {
         let exec = engine.config().exec;
         let threads = exec.threads().max(1);
         let concurrent_chips = config.chips.clamp(1, threads);
@@ -960,6 +987,12 @@ impl Cluster {
     /// # Ok(())
     /// # }
     /// ```
+    ///
+    /// **Migration note:** prefer the unified front door —
+    /// `ServeSpec::builder().chips(n).build()?.run(&engine, &trace)`
+    /// ([`ServeSpec`](crate::spec::ServeSpec)) — which validates once and
+    /// dispatches here. This method stays as the thin mode-specific
+    /// entry point underneath it.
     ///
     /// # Errors
     ///
@@ -1058,6 +1091,7 @@ impl Cluster {
                     &self.config.serve,
                     phases.map(|p| p[chip].as_slice()),
                     Some(&mut ctx),
+                    self.config.scheduler,
                 )?;
                 Ok((report, ctx.into_stats()))
             });
@@ -1096,7 +1130,7 @@ impl Cluster {
                 report,
             });
         }
-        latencies.sort_by(f64::total_cmp);
+        let latency = LatencySummary::from_samples(latencies);
         let max_demand = loads.iter().map(|l| l.assigned_peak_kv_bytes).max().unwrap_or(0) as f64;
         let mean_demand =
             loads.iter().map(|l| l.assigned_peak_kv_bytes).sum::<u64>() as f64 / chips as f64;
@@ -1113,8 +1147,8 @@ impl Cluster {
             } else {
                 0.0
             },
-            p50_latency_ms: percentile(&latencies, 0.5),
-            p95_latency_ms: percentile(&latencies, 0.95),
+            p50_latency_ms: latency.p50_ms,
+            p95_latency_ms: latency.p95_ms,
             peak_kv_bytes: peak_kv,
             max_chip_peak_kv_bytes: max_chip_peak,
             kv_imbalance: if mean_demand > 0.0 { max_demand / mean_demand } else { 1.0 },
@@ -1153,6 +1187,12 @@ impl Cluster {
     /// [`DisaggReport::prefill_stage`] reproduces [`Cluster::serve`]'s
     /// report bit-exactly (the `tests/disagg_invariants.rs` contract).
     /// Deterministic: bit-identical across `MEADOW_THREADS`.
+    ///
+    /// **Migration note:** prefer the unified front door —
+    /// `ServeSpec::builder().chips(n).phases(policy).build()?.run(..)`
+    /// ([`ServeSpec`](crate::spec::ServeSpec)) — which selects this mode
+    /// whenever a phase placement is set. This method stays as the thin
+    /// mode-specific entry point underneath it.
     ///
     /// # Errors
     ///
@@ -1345,15 +1385,14 @@ impl Cluster {
             summaries.push(summary);
         }
 
-        let mut ttfts: Vec<f64> =
-            summaries.iter().filter(|s| !s.rejected).map(|s| s.ttft_ms).collect();
-        ttfts.sort_by(f64::total_cmp);
-        let mut paces: Vec<f64> = summaries
+        let ttfts: Vec<f64> = summaries.iter().filter(|s| !s.rejected).map(|s| s.ttft_ms).collect();
+        let ttft = LatencySummary::from_samples(ttfts);
+        let paces: Vec<f64> = summaries
             .iter()
             .filter(|s| !s.rejected && s.generated_tokens > 0)
             .map(|s| s.mean_tbt_ms)
             .collect();
-        paces.sort_by(f64::total_cmp);
+        let tbt = LatencySummary::from_samples(paces);
         let total_tokens = prefill_stage.total_generated_tokens
             + decode_stage.as_ref().map_or(0, |s| s.total_generated_tokens);
         let makespan =
@@ -1370,10 +1409,10 @@ impl Cluster {
             } else {
                 0.0
             },
-            p50_ttft_ms: percentile(&ttfts, 0.5),
-            p95_ttft_ms: percentile(&ttfts, 0.95),
-            p50_tbt_ms: percentile(&paces, 0.5),
-            p95_tbt_ms: percentile(&paces, 0.95),
+            p50_ttft_ms: ttft.p50_ms,
+            p95_ttft_ms: ttft.p95_ms,
+            p50_tbt_ms: tbt.p50_ms,
+            p95_tbt_ms: tbt.p95_ms,
             handoff: HandoffStats {
                 split_requests: handoffs,
                 handoff_bytes,

@@ -259,6 +259,17 @@ impl KvPageAllocator {
         (self.session_pages(session) as u64 * self.page_bytes).saturating_sub(held_bytes)
     }
 
+    /// Total internal fragmentation of the pool given `held_total`, the
+    /// KV bytes held across *every* page-owning session: pool occupancy
+    /// minus held bytes, in O(1) from the frame counters. Equal to
+    /// summing [`KvPageAllocator::frag_bytes`] over all owners whenever
+    /// each owner's held bytes fit within its own frames — the serving
+    /// scheduler's invariant — which is how the event-driven core reports
+    /// fragmentation without a per-session scan.
+    pub fn frag_total_bytes(&self, held_total: u64) -> u64 {
+        (self.used_pages() as u64 * self.page_bytes).saturating_sub(held_total)
+    }
+
     /// Conservation check for tests and debug assertions: every frame is
     /// either free or in exactly one page table, and the owner index
     /// agrees with the tables.
@@ -365,5 +376,15 @@ mod tests {
         assert_eq!(pool.frag_bytes(1, 250), 50);
         assert_eq!(pool.frag_bytes(1, 300), 0);
         assert_eq!(pool.frag_bytes(2, 0), 0);
+    }
+
+    #[test]
+    fn frag_total_matches_per_session_sum() {
+        let mut pool = KvPageAllocator::new(8, 100).unwrap();
+        pool.grow(1, 3, (1, 1, 1)).unwrap(); // holds 250 B → 50 B frag
+        pool.grow(2, 2, (1, 2, 2)).unwrap(); // holds 130 B → 70 B frag
+        let per_session = pool.frag_bytes(1, 250) + pool.frag_bytes(2, 130);
+        assert_eq!(pool.frag_total_bytes(250 + 130), per_session);
+        assert_eq!(pool.frag_total_bytes(500), 0);
     }
 }

@@ -39,12 +39,14 @@ pub mod baselines;
 pub mod cluster;
 pub mod engine;
 pub mod error;
+pub(crate) mod events;
 pub mod kv_pages;
 pub mod planner;
 pub mod report;
 pub mod roofline;
 pub mod serve;
 pub mod session;
+pub mod spec;
 pub mod vit;
 
 pub use cluster::{
@@ -56,6 +58,8 @@ pub use engine::{EngineConfig, LatencyReport, MeadowEngine};
 pub use error::CoreError;
 pub use kv_pages::KvPageAllocator;
 pub use serve::{
-    AdmissionPolicy, KvPolicy, ServeConfig, ServeError, ServeReport, ServeTrace, SpecDecode,
+    AdmissionPolicy, KvPolicy, LatencySummary, SchedulerCore, ServeConfig, ServeConfigBuilder,
+    ServeError, ServeReport, ServeTrace, SpecDecode,
 };
 pub use session::SessionPhase;
+pub use spec::{ServeOutcome, ServeSpec, ServeSpecBuilder};

@@ -73,6 +73,7 @@
 use crate::cluster::{Cluster, MigrationCtx};
 use crate::engine::{LatencyReport, MeadowEngine};
 use crate::error::CoreError;
+use crate::events::{EventQueue, ReadyOrder, StepCache};
 use crate::kv_pages::KvPageAllocator;
 use crate::session::SessionPhase;
 use meadow_dataflow::pipeline::flow_shop_completion_times;
@@ -82,7 +83,7 @@ use meadow_models::TransformerConfig;
 use meadow_sim::{Cycles, DramModel, TrafficLedger};
 use meadow_tensor::parallel::par_map;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 /// Typed rejection of an invalid serving or cluster configuration.
@@ -179,6 +180,42 @@ impl fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+/// Which scheduler implementation runs the per-chip serving loop.
+///
+/// Both cores implement the *same* discrete-event semantics — one
+/// scheduler iteration per batch step, with simulated time jumping by the
+/// batch makespan (and to the next arrival when the chip idles) — and
+/// produce bit-identical reports. They differ only in how much work one
+/// iteration costs:
+///
+/// * [`SchedulerCore::Event`] (the default) keeps binary min-heaps for
+///   arrival and SLO-deadline events, an ordered index for the step and
+///   victim order, incremental running sums for the budget accounting,
+///   and a memo of step measurements (pure functions of the step shape),
+///   so an iteration costs `O(batch · log n)` instead of `O(resident
+///   sessions)` — the difference between hours and seconds at 10⁵–10⁶
+///   requests (the `serve_1m` perfbench case).
+/// * [`SchedulerCore::Tick`] is the original scan loop, retained for one
+///   PR as the migration oracle (`tests/event_equivalence.rs` pins the
+///   two bit-exact on randomized traces) and as the baseline `serve_1m`
+///   measures the event core against.
+///
+/// Select a core through
+/// [`ServeSpec::builder().scheduler(..)`](crate::spec::ServeSpec) or
+/// `ClusterConfig::builder().scheduler(..)`; the reports do not record it
+/// (the choice is unobservable in the output by construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerCore {
+    /// Event-driven core: heap-ordered events, incremental budget sums,
+    /// memoized step measurements.
+    #[default]
+    Event,
+    /// The retired per-tick scan loop, kept as the migration oracle and
+    /// perf baseline; scheduled for removal once the equivalence suite
+    /// has served its PR.
+    Tick,
+}
 
 /// Eviction policy for the serving KV-cache pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -369,6 +406,75 @@ impl ServeConfig {
         }
         Ok(())
     }
+
+    /// Starts a builder with construction-time validation — the same
+    /// `build()?` discipline as `ClusterConfig::builder()`, so the two
+    /// config idioms agree. Prefer this (or
+    /// [`ServeSpec`](crate::spec::ServeSpec), which embeds it) at new call
+    /// sites over the `with_*` chain, which defers validation to the serve
+    /// entry points.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+}
+
+/// Builder for [`ServeConfig`] whose [`build`](ServeConfigBuilder::build)
+/// runs [`ServeConfig::validate`], rejecting invalid combinations (zero
+/// `max_batch`, zero `page_bytes` under [`KvPolicy::PagedLru`], bad SLOs,
+/// nonsensical speculation) with a typed [`ServeError`] at the seam
+/// instead of mid-run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets a finite per-chip KV budget (the default is unbounded).
+    pub fn kv_budget_bytes(mut self, bytes: u64) -> Self {
+        self.config.kv_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the eviction policy.
+    pub fn policy(mut self, policy: KvPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the continuous-batching batch-size cap.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Sets the [`KvPolicy::PagedLru`] page size.
+    pub fn page_bytes(mut self, page_bytes: u64) -> Self {
+        self.config.page_bytes = page_bytes;
+        self
+    }
+
+    /// Enables the speculative-decoding cost model.
+    pub fn speculation(mut self, speculation: SpecDecode) -> Self {
+        self.config.speculation = Some(speculation);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ServeError`] the configuration violates (see
+    /// [`ServeConfig::validate`]).
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// Serving-side record of one completed (or rejected) request.
@@ -540,8 +646,8 @@ impl Session {
             generated: 0,
             // A decode-only leg resumes a prefill that already ran
             // elsewhere: its prompt KV is logically present from the start.
-            prefilled: phase == SessionPhase::DecodeOnly,
-            kv_preloaded: phase == SessionPhase::DecodeOnly,
+            prefilled: phase.starts_prefilled(),
+            kv_preloaded: phase.starts_prefilled(),
             spec_miss_credit: 0.0,
             rejected: false,
             evictions: 0,
@@ -604,6 +710,33 @@ pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx - 1]
 }
 
+/// Latency percentiles of one sample population, computed by this single
+/// shared helper everywhere the serving stack reports them (per-chip
+/// serve, cluster aggregation, disaggregated TTFT/pace summaries) so the
+/// semantics — nearest-rank percentiles over a `total_cmp`-sorted sample,
+/// zero for an empty one — cannot drift between the three paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median (nearest-rank p50), in ms.
+    pub p50_ms: f64,
+    /// Nearest-rank 95th percentile, in ms.
+    pub p95_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample, sorting it internally (`total_cmp`, so NaN
+    /// cannot poison the order).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(f64::total_cmp);
+        Self::from_sorted(&samples)
+    }
+
+    /// Summarizes an already-sorted sample.
+    pub fn from_sorted(sorted: &[f64]) -> Self {
+        Self { p50_ms: percentile(sorted, 0.5), p95_ms: percentile(sorted, 0.95) }
+    }
+}
+
 /// Charges one KV-cache spill, preferring cross-chip migration when a
 /// cluster [`MigrationCtx`] accepts the bytes and falling back to the
 /// chip's DRAM channel ([`DramModel::transfer_kv_cache`]) otherwise. With
@@ -655,6 +788,13 @@ fn charge_reload(
 /// reproduces the pre-cluster scheduler bit-exactly (the
 /// `tests/cluster_invariants.rs` contract).
 ///
+/// **Migration note:** this free function is now a thin shim kept for
+/// source compatibility. New call sites should go through the unified
+/// front door, [`ServeSpec`](crate::spec::ServeSpec) —
+/// `ServeSpec::builder().config(config).build()?.run(&engine, &trace)` —
+/// which validates at construction and dispatches single-chip, cluster
+/// and disaggregated serving through one surface.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::Serve`] when the configuration is invalid
@@ -682,7 +822,31 @@ pub fn serve(
 /// a `PrefillOnly` leg finishes once its prompt KV and first token are
 /// produced, a `DecodeOnly` leg starts already prefilled with its prompt
 /// KV delivered (the caller charges the handoff on the cluster NoC).
+///
+/// `core` selects the scheduler implementation; the two cores are
+/// bit-identical by contract (see [`SchedulerCore`]).
 pub(crate) fn serve_on_chip(
+    engine: &MeadowEngine,
+    trace: &ArrivalTrace,
+    config: &ServeConfig,
+    phases: Option<&[SessionPhase]>,
+    migration: Option<&mut MigrationCtx<'_>>,
+    core: SchedulerCore,
+) -> Result<ServeReport, CoreError> {
+    match core {
+        SchedulerCore::Event => serve_on_chip_event(engine, trace, config, phases, migration),
+        SchedulerCore::Tick => serve_on_chip_tick(engine, trace, config, phases, migration),
+    }
+}
+
+/// The original per-tick scan implementation of [`serve_on_chip`]
+/// ([`SchedulerCore::Tick`]): every scheduler iteration re-scans and
+/// re-sorts the resident sessions and re-measures every step. Retained
+/// verbatim for one PR as the migration oracle the event-driven core is
+/// pinned against (`tests/event_equivalence.rs`) and as the `serve_1m`
+/// perf baseline; do not add features here — new scheduler work goes in
+/// [`serve_on_chip_event`].
+fn serve_on_chip_tick(
     engine: &MeadowEngine,
     trace: &ArrivalTrace,
     config: &ServeConfig,
@@ -1145,6 +1309,41 @@ pub(crate) fn serve_on_chip(
     }
 
     ledger.merge(kv_dram.ledger());
+    let totals = SchedTotals {
+        ticks: tick,
+        makespan_ms: now,
+        peak_kv,
+        frag_peak,
+        total_evictions,
+        page_spills,
+        page_faults,
+        rejected,
+    };
+    Ok(finalize_report(config, model, &sessions, ledger, totals))
+}
+
+/// Aggregate counters a scheduler core hands to [`finalize_report`].
+struct SchedTotals {
+    ticks: u64,
+    makespan_ms: f64,
+    peak_kv: u64,
+    frag_peak: u64,
+    total_evictions: u64,
+    page_spills: u64,
+    page_faults: u64,
+    rejected: u64,
+}
+
+/// Folds final session state into the [`ServeReport`] — one shared path
+/// for both scheduler cores, so the trace order, the latency sort and the
+/// [`LatencySummary`] percentiles cannot drift between them.
+fn finalize_report(
+    config: &ServeConfig,
+    model: &TransformerConfig,
+    sessions: &[Session],
+    ledger: TrafficLedger,
+    totals: SchedTotals,
+) -> ServeReport {
     let traces: Vec<ServeTrace> = sessions
         .iter()
         .map(|s| ServeTrace {
@@ -1170,32 +1369,646 @@ pub(crate) fn serve_on_chip(
         })
         .collect();
     let total_generated: u64 = traces.iter().map(|t| t.generated_tokens as u64).sum();
-    let mut latencies: Vec<f64> =
-        traces.iter().filter(|t| !t.rejected).map(ServeTrace::total_latency_ms).collect();
-    latencies.sort_by(f64::total_cmp);
-    let tokens_per_sec = if now > 0.0 { total_generated as f64 / (now / 1e3) } else { 0.0 };
-    Ok(ServeReport {
+    let latency = LatencySummary::from_samples(
+        traces.iter().filter(|t| !t.rejected).map(ServeTrace::total_latency_ms).collect(),
+    );
+    let tokens_per_sec = if totals.makespan_ms > 0.0 {
+        total_generated as f64 / (totals.makespan_ms / 1e3)
+    } else {
+        0.0
+    };
+    ServeReport {
         policy: config.policy,
         admission: config.admission,
         kv_budget_bytes: config.kv_budget_bytes,
         page_bytes: config.page_bytes,
         max_batch: config.max_batch,
-        requests: n,
-        rejected_requests: rejected,
+        requests: sessions.len(),
+        rejected_requests: totals.rejected,
         total_generated_tokens: total_generated,
-        ticks: tick,
-        makespan_ms: now,
+        ticks: totals.ticks,
+        makespan_ms: totals.makespan_ms,
         tokens_per_sec,
-        p50_latency_ms: percentile(&latencies, 0.5),
-        p95_latency_ms: percentile(&latencies, 0.95),
-        peak_kv_bytes: peak_kv,
-        total_evictions,
-        total_page_spills: page_spills,
-        total_page_faults: page_faults,
-        kv_frag_peak_bytes: frag_peak,
+        p50_latency_ms: latency.p50_ms,
+        p95_latency_ms: latency.p95_ms,
+        peak_kv_bytes: totals.peak_kv,
+        total_evictions: totals.total_evictions,
+        total_page_spills: totals.page_spills,
+        total_page_faults: totals.page_faults,
+        kv_frag_peak_bytes: totals.frag_peak,
         ledger,
         traces,
-    })
+    }
+}
+
+/// The event-driven implementation of [`serve_on_chip`]
+/// ([`SchedulerCore::Event`], the default).
+///
+/// Semantically identical to [`serve_on_chip_tick`] iteration for
+/// iteration — the equivalence suite pins the two bit-exact — but each
+/// iteration is `O(batch · log n)` instead of `O(resident sessions)`:
+///
+/// * Arrival and SLO-deadline events live in binary min-heaps
+///   ([`EventQueue`]); deadline events are keyed by *arrival* time (the
+///   SLO is one constant per run, so deadline order equals arrival order)
+///   and the shedding test stays the tick core's verbatim
+///   `now - arrival > slo` float expression. Shed requests stay in the
+///   wait deque as tombstones, skipped at the head, instead of an `O(n)`
+///   `retain`.
+/// * The step/victim order lives in [`ReadyOrder`] indexes maintained
+///   incrementally (one in LRU order, one in FIFO order when that policy
+///   needs it) instead of a per-iteration clone-and-sort.
+/// * The budget sums (`Σ next_kv` for admission, stepping + idle + zombie
+///   demand for eviction) are running `u64` totals — exact, because
+///   unsigned sums are order-independent — with per-session sizes cached
+///   and refreshed at each state change.
+/// * Step measurements are memoized by shape ([`StepCache`]): the
+///   engine's latency model is a pure function of
+///   `(prompt_tokens, token_index)` — every call builds a fresh DRAM
+///   channel — so a cache hit (errors included) is bit-identical to
+///   re-measuring. Misses fan out through the same order-preserving
+///   parallel map as the tick core, preserving `MEADOW_THREADS`
+///   bit-identity.
+///
+/// Sessions live in one arena (`Vec<Session>`, indexed by the trace
+/// order) and the per-iteration scratch buffers are reused across
+/// iterations, so steady-state scheduling allocates only when the batch
+/// shape grows.
+#[allow(clippy::too_many_lines)]
+fn serve_on_chip_event(
+    engine: &MeadowEngine,
+    trace: &ArrivalTrace,
+    config: &ServeConfig,
+    phases: Option<&[SessionPhase]>,
+    mut migration: Option<&mut MigrationCtx<'_>>,
+) -> Result<ServeReport, CoreError> {
+    let model = &engine.config().model;
+    trace.validate(model)?;
+    config.validate()?;
+    let paged = config.policy == KvPolicy::PagedLru;
+    if let Some(budget) = config.kv_budget_bytes {
+        for r in &trace.requests {
+            let peak = r.peak_kv_bytes(model);
+            if peak > budget {
+                return Err(ServeError::RequestExceedsBudget {
+                    id: r.id,
+                    peak_bytes: peak,
+                    budget_bytes: budget,
+                }
+                .into());
+            }
+        }
+    }
+
+    let clock = engine.config().chip.clock;
+    let exec = engine.config().exec;
+    // Serving-level channel for KV spill/reload migration; per-step
+    // attention traffic is ledgered inside each LatencyReport.
+    let mut kv_dram = engine.fresh_dram()?;
+    let mut ledger = TrafficLedger::new();
+    // Sized exactly as in the tick core — see the comment there.
+    let mut pages: Option<KvPageAllocator> = if paged {
+        let frames: u64 =
+            trace.requests.iter().map(|r| r.peak_kv_bytes(model).div_ceil(config.page_bytes)).sum();
+        Some(KvPageAllocator::new(frames.max(1) as usize, config.page_bytes)?)
+    } else {
+        None
+    };
+    let page_bytes = config.page_bytes;
+
+    let n = trace.requests.len();
+    debug_assert!(phases.is_none_or(|p| p.len() == n), "phases must align with the trace");
+    // Session arena, indexed by trace order for the whole run.
+    let mut sessions: Vec<Session> = trace
+        .requests
+        .iter()
+        .enumerate()
+        .map(|(idx, &r)| Session::new(r, phases.map_or(SessionPhase::Full, |p| p[idx])))
+        .collect();
+    // id → arena index, built once (lookups only, so map order never
+    // influences the schedule).
+    let id2idx: HashMap<u32, usize> =
+        sessions.iter().enumerate().map(|(i, s)| (s.req.id, i)).collect();
+
+    // Arrival events pop in (arrival_ms, id) order — identical to the
+    // tick core's sorted pending queue.
+    let mut arrivals = EventQueue::with_capacity(n);
+    for (i, s) in sessions.iter().enumerate() {
+        arrivals.push(s.req.arrival_ms, s.req.id, i);
+    }
+    let slo = match config.admission {
+        AdmissionPolicy::RejectAfter { ttft_slo_ms } => Some(ttft_slo_ms),
+        AdmissionPolicy::Queue => None,
+    };
+    let mut deadlines = EventQueue::with_capacity(if slo.is_some() { n } else { 0 });
+
+    // Wait queue with tombstones: shed requests stay in the deque and are
+    // skipped at the head; `wait_live` counts the live ones and `in_wait`
+    // answers the paged zombie-ownership test in O(1).
+    let mut wait: VecDeque<usize> = VecDeque::new();
+    let mut in_wait = vec![false; n];
+    let mut wait_live = 0usize;
+
+    // Resident sessions in step/LRU-victim order; the FIFO index is
+    // maintained only when that policy orders victims differently.
+    let mut ready = ReadyOrder::default();
+    let mut fifo = ReadyOrder::default();
+    let use_fifo = config.policy == KvPolicy::Fifo;
+
+    // Cached per-session KV sizes and the running budget sums. The caches
+    // are initialized from the *constructed* sessions: a decode-only leg
+    // starts prefilled, with its prompt KV logically present.
+    let mut resident_kv: Vec<u64> = sessions.iter().map(|s| s.resident_kv(model)).collect();
+    let mut next_kv: Vec<u64> = sessions.iter().map(|s| s.next_kv(model)).collect();
+    // Σ next_kv / Σ resident_kv over resident (ready) sessions, including
+    // this iteration's finishers until the peak snapshot.
+    let mut active_next_sum = 0u64;
+    let mut active_resident_sum = 0u64;
+    // Paged residency: Σ held_bytes over resident sessions and over
+    // demoted zombies whose pages have not been peeled yet.
+    let mut active_held_sum = 0u64;
+    let mut wait_held_sum = 0u64;
+
+    // `step_epoch[i] == tick` marks membership in the current step set,
+    // so victim scans skip it without an auxiliary set.
+    let mut step_epoch = vec![0u64; n];
+
+    let mut cache = StepCache::new();
+
+    let mut now = 0.0_f64;
+    let mut tick: u64 = 0;
+    let mut admission_counter: u64 = 0;
+    let mut peak_kv: u64 = 0;
+    let mut frag_peak: u64 = 0;
+    let mut total_evictions: u64 = 0;
+    let mut page_spills: u64 = 0;
+    let mut page_faults: u64 = 0;
+    let mut rejected: u64 = 0;
+    let mut settled = 0usize;
+
+    // Scratch buffers reused across iterations (no per-tick churn).
+    let mut step_set: Vec<usize> = Vec::new();
+    let mut reload_cycles: Vec<Cycles> = Vec::new();
+    let mut miss_keys: Vec<(usize, usize)> = Vec::new();
+    let mut matrix: Vec<Vec<Cycles>> = Vec::new();
+    let mut solo_ms: Vec<f64> = Vec::new();
+    let mut finished: Vec<usize> = Vec::new();
+
+    while settled < n {
+        tick += 1;
+        // Idle chip: jump straight to the next arrival event.
+        if ready.is_empty() && wait_live == 0 {
+            if let Some(next_ms) = arrivals.peek_time() {
+                now = now.max(next_ms);
+            }
+        }
+        // Arrival events at or before `now` enter the wait queue.
+        while arrivals.peek_time().is_some_and(|t| t <= now) {
+            let (_, i) = arrivals.pop().expect("peeked above");
+            wait.push_back(i);
+            in_wait[i] = true;
+            wait_live += 1;
+            if slo.is_some() {
+                deadlines.push(sessions[i].req.arrival_ms, sessions[i].req.id, i);
+            }
+        }
+        // Deadline events: shed every request whose TTFT SLO lapsed
+        // before first admission. Admitted sessions drop their stale
+        // deadline silently — their work is already sunk, never shed.
+        if let Some(ttft_slo_ms) = slo {
+            while let Some((arrival_ms, i)) = deadlines.peek() {
+                if sessions[i].queue_wait_ms.is_some() {
+                    deadlines.pop();
+                    continue;
+                }
+                if now - arrival_ms <= ttft_slo_ms {
+                    // Earliest deadline not lapsed: none after it has.
+                    break;
+                }
+                deadlines.pop();
+                let s = &mut sessions[i];
+                s.rejected = true;
+                s.queue_wait_ms = Some(now - s.req.arrival_ms);
+                rejected += 1;
+                settled += 1;
+                in_wait[i] = false;
+                wait_live -= 1;
+            }
+        }
+        // Head-of-line admission against the running Σ next_kv — the same
+        // conservative projection as the tick core (zombie pages of
+        // demoted sessions deliberately do not count; see the tick core's
+        // comment on why counting them could wedge the scheduler).
+        while let Some(&head) = wait.front() {
+            if sessions[head].rejected {
+                // Tombstone left by a deadline event.
+                wait.pop_front();
+                continue;
+            }
+            let projected = active_next_sum + next_kv[head];
+            if config.kv_budget_bytes.is_some_and(|b| projected > b) {
+                break;
+            }
+            wait.pop_front();
+            in_wait[head] = false;
+            wait_live -= 1;
+            admission_counter += 1;
+            let s = &mut sessions[head];
+            s.admission_seq = admission_counter;
+            if s.queue_wait_ms.is_none() {
+                s.queue_wait_ms = Some(now - s.req.arrival_ms);
+            }
+            if let Some(pool) = pages.as_mut() {
+                // Re-admission reserves frames for the whole cache up
+                // front; a zombie's still-held pages move from the wait
+                // sum back to the active sum.
+                let kv = resident_kv[head];
+                wait_held_sum -= s.held_bytes;
+                s.held_bytes = kv;
+                active_held_sum += kv;
+                pool.grow(
+                    s.req.id,
+                    pool.pages_for(kv),
+                    (s.last_step_tick, s.admission_seq, s.req.id),
+                )
+                .expect("pool is sized for the whole trace");
+                if std::mem::take(&mut s.kv_preloaded) {
+                    // Decode-only leg: prompt KV arrived over the NoC
+                    // handoff, so the first admission loads fault-free.
+                    s.loaded_bytes = kv;
+                }
+            } else {
+                s.pending_reload_bytes = s.spilled_kv_bytes;
+                s.spilled_kv_bytes = 0;
+            }
+            active_next_sum += next_kv[head];
+            active_resident_sum += resident_kv[head];
+            ready.insert((s.last_step_tick, s.admission_seq, s.req.id));
+            if use_fifo {
+                fifo.insert((s.admission_seq, s.last_step_tick, s.req.id));
+            }
+        }
+        // Step-set selection: the first `max_batch` sessions in ready
+        // order — least recently stepped first, deterministic tie-breaks —
+        // without cloning or sorting the resident set.
+        step_set.clear();
+        step_set.extend(ready.iter().take(config.max_batch).map(|&(_, _, id)| id2idx[&id]));
+        if step_set.is_empty() {
+            // Only reachable when load shedding emptied the queue with no
+            // resident work; the next iteration jumps to the next arrival.
+            continue;
+        }
+        let mut step_next = 0u64;
+        let mut step_resident = 0u64;
+        for &i in &step_set {
+            step_epoch[i] = tick;
+            step_next += next_kv[i];
+            step_resident += resident_kv[i];
+        }
+        // Budget enforcement: evict until the tick fits, preferring idle
+        // victims (same policy order as the tick core), with the demand
+        // recomputed O(1) from the running sums each round.
+        let mut spill_cycles = Cycles::ZERO;
+        if let Some(budget) = config.kv_budget_bytes {
+            loop {
+                let zombie_held = if paged { wait_held_sum } else { 0 };
+                let needed = step_next + (active_resident_sum - step_resident) + zombie_held;
+                if needed <= budget {
+                    break;
+                }
+                if let Some(pool) = pages.as_mut() {
+                    // Lazy page-granular spill; see the tick core for the
+                    // demote-then-peel rationale.
+                    let zombie_page = pool.lru_page(|sid| in_wait[id2idx[&sid]]);
+                    if let Some((_, owner)) = zombie_page {
+                        let victim = id2idx[&owner];
+                        let s = &mut sessions[victim];
+                        let frames = pool.session_pages(owner) as u64;
+                        let tail_start = (frames - 1) * page_bytes;
+                        let write = s.loaded_bytes.saturating_sub(tail_start);
+                        if write > 0 {
+                            spill_cycles +=
+                                charge_spill(&mut kv_dram, &mut migration, owner, write, None);
+                            page_spills += 1;
+                        }
+                        pool.evict_tail(owner);
+                        wait_held_sum -= s.held_bytes - tail_start;
+                        s.held_bytes = tail_start;
+                        s.loaded_bytes = s.loaded_bytes.min(tail_start);
+                    } else {
+                        // First resident session in LRU order that is not
+                        // stepping and still holds pages — the same victim
+                        // the tick core's filtered min finds, located by
+                        // an ordered walk instead of a full scan.
+                        let idle_victim = ready
+                            .iter()
+                            .map(|&(_, _, id)| id2idx[&id])
+                            .find(|&i| step_epoch[i] != tick && sessions[i].held_bytes > 0);
+                        if let Some(victim) = idle_victim {
+                            let s = &mut sessions[victim];
+                            ready.remove(&(s.last_step_tick, s.admission_seq, s.req.id));
+                            active_next_sum -= next_kv[victim];
+                            active_resident_sum -= resident_kv[victim];
+                            // Demoted without spilling: its pages become
+                            // zombie residency until lazily peeled.
+                            active_held_sum -= s.held_bytes;
+                            wait_held_sum += s.held_bytes;
+                            if s.prefilled {
+                                total_evictions += 1;
+                                s.evictions += 1;
+                            }
+                            wait.push_back(victim);
+                            in_wait[victim] = true;
+                            wait_live += 1;
+                        } else {
+                            // No idle cache left: demote a stepping
+                            // session, spilling eagerly (it was about to
+                            // run). Under PagedLru the victim key is the
+                            // ready key, so the minimum is the step set's
+                            // first remaining member.
+                            let victim = *step_set
+                                .first()
+                                .expect("an over-budget tick always has a stepping session");
+                            step_set.remove(0);
+                            let s = &mut sessions[victim];
+                            ready.remove(&(s.last_step_tick, s.admission_seq, s.req.id));
+                            step_next -= next_kv[victim];
+                            step_resident -= resident_kv[victim];
+                            active_next_sum -= next_kv[victim];
+                            active_resident_sum -= resident_kv[victim];
+                            if s.prefilled {
+                                total_evictions += 1;
+                                s.evictions += 1;
+                            }
+                            if s.loaded_bytes > 0 {
+                                spill_cycles += charge_spill(
+                                    &mut kv_dram,
+                                    &mut migration,
+                                    s.req.id,
+                                    s.loaded_bytes,
+                                    Some(page_bytes),
+                                );
+                                page_spills += pool.pages_for(s.loaded_bytes) as u64;
+                            }
+                            pool.release(s.req.id);
+                            active_held_sum -= s.held_bytes;
+                            s.held_bytes = 0;
+                            s.loaded_bytes = 0;
+                            wait.push_back(victim);
+                            in_wait[victim] = true;
+                            wait_live += 1;
+                        }
+                    }
+                } else {
+                    // Whole-cache victim: first non-stepping resident
+                    // session with a cache, in victim-key order (the FIFO
+                    // index when that policy differs from LRU), falling
+                    // back to the step set's minimum.
+                    let victim_order = if use_fifo { &fifo } else { &ready };
+                    let victim = victim_order
+                        .iter()
+                        .map(|&(_, _, id)| id2idx[&id])
+                        .find(|&i| step_epoch[i] != tick && resident_kv[i] > 0)
+                        .unwrap_or_else(|| {
+                            // Evicting the last stepping session is
+                            // impossible: a single next step always fits
+                            // (validated above).
+                            step_set
+                                .iter()
+                                .copied()
+                                .min_by_key(|&i| sessions[i].victim_key(config.policy))
+                                .expect("an over-budget tick always has an evictable session")
+                        });
+                    if let Some(pos) = step_set.iter().position(|&i| i == victim) {
+                        step_set.remove(pos);
+                        step_next -= next_kv[victim];
+                        step_resident -= resident_kv[victim];
+                    }
+                    let s = &mut sessions[victim];
+                    ready.remove(&(s.last_step_tick, s.admission_seq, s.req.id));
+                    if use_fifo {
+                        fifo.remove(&(s.admission_seq, s.last_step_tick, s.req.id));
+                    }
+                    active_next_sum -= next_kv[victim];
+                    active_resident_sum -= resident_kv[victim];
+                    if s.prefilled {
+                        // Only a session that actually holds (or owes) a
+                        // cache counts as evicted; preempting an
+                        // unprefilled session spills nothing.
+                        total_evictions += 1;
+                        s.evictions += 1;
+                        if s.pending_reload_bytes > 0 {
+                            // Evicted again before reloading: nothing to
+                            // write out.
+                            s.spilled_kv_bytes = s.pending_reload_bytes;
+                            s.pending_reload_bytes = 0;
+                        } else {
+                            let bytes = resident_kv[victim];
+                            spill_cycles +=
+                                charge_spill(&mut kv_dram, &mut migration, s.req.id, bytes, None);
+                            s.spilled_kv_bytes = bytes;
+                        }
+                    }
+                    wait.push_back(victim);
+                    in_wait[victim] = true;
+                    wait_live += 1;
+                }
+            }
+        }
+        debug_assert!(!step_set.is_empty(), "a tick with work must step a session");
+        // Reload spilled caches for sessions about to step; paged mode
+        // also reserves the frames the step's KV growth will fill.
+        reload_cycles.clear();
+        for &i in &step_set {
+            if let Some(pool) = pages.as_mut() {
+                let s = &mut sessions[i];
+                let existing = resident_kv[i];
+                pool.grow(s.req.id, pool.pages_for(next_kv[i]), (tick, s.admission_seq, s.req.id))
+                    .expect("pool is sized for the whole trace");
+                let fault = existing - s.loaded_bytes;
+                if fault > 0 {
+                    reload_cycles.push(charge_reload(
+                        &mut kv_dram,
+                        &mut migration,
+                        s.req.id,
+                        fault,
+                        Some(page_bytes),
+                    ));
+                    page_faults += fault.div_ceil(page_bytes);
+                    s.loaded_bytes = existing;
+                } else {
+                    reload_cycles.push(Cycles::ZERO);
+                }
+            } else {
+                let bytes = std::mem::take(&mut sessions[i].pending_reload_bytes);
+                reload_cycles.push(if bytes > 0 {
+                    charge_reload(&mut kv_dram, &mut migration, sessions[i].req.id, bytes, None)
+                } else {
+                    Cycles::ZERO
+                });
+            }
+        }
+        // Measure each *distinct* step shape once. The engine's latency
+        // model is a pure function of (prompt, token index) — every call
+        // builds a fresh DRAM channel — so a cached result (errors
+        // included) is bit-identical to re-measuring, and the misses fan
+        // out through the same order-preserving parallel map as the tick
+        // core.
+        miss_keys.clear();
+        for &i in &step_set {
+            let key = step_key(&sessions[i]);
+            if !cache.contains(key) && !miss_keys.contains(&key) {
+                miss_keys.push(key);
+            }
+        }
+        if !miss_keys.is_empty() {
+            let measured = par_map(&miss_keys, &exec, |&(prompt, token)| {
+                if token == 0 {
+                    engine.prefill_latency(prompt)
+                } else {
+                    engine.decode_latency(prompt, token)
+                }
+            });
+            for (&key, result) in miss_keys.iter().zip(measured) {
+                cache.insert(key, result);
+            }
+        }
+        matrix.clear();
+        solo_ms.clear();
+        for (pos, &i) in step_set.iter().enumerate() {
+            let report = match cache.get(step_key(&sessions[i])).expect("measured above") {
+                Ok(report) => report,
+                // First failing step in step order propagates, exactly as
+                // the tick core's in-order `?` over the parallel map.
+                Err(e) => return Err(e.clone()),
+            };
+            let mut row: Vec<Cycles> = report.layers.iter().map(LayerLatency::makespan).collect();
+            let mut stall = reload_cycles[pos];
+            // Deterministic speculation credit — identical arithmetic to
+            // the tick core (see the comment there).
+            if let Some(spec) = config.speculation {
+                let s = &mut sessions[i];
+                if s.prefilled {
+                    s.spec_miss_credit += 1.0 - spec.acceptance;
+                    if s.spec_miss_credit >= 1.0 {
+                        s.spec_miss_credit -= 1.0;
+                        let step: u64 = row.iter().map(|c| c.get()).sum();
+                        let waste =
+                            (step as f64 * spec.draft_len as f64 * spec.draft_cost_ratio).round();
+                        stall += Cycles(waste as u64);
+                    }
+                }
+            }
+            row[0] += stall;
+            solo_ms.push(report.total_ms() + clock.to_ms(stall));
+            ledger.merge(&report.ledger);
+            matrix.push(row);
+        }
+        let finishes = flow_shop_completion_times(&matrix);
+        let tick_cycles = spill_cycles + finishes.last().copied().unwrap_or(Cycles::ZERO);
+        finished.clear();
+        for ((&i, &finish), own_ms) in step_set.iter().zip(&finishes).zip(solo_ms.drain(..)) {
+            let s = &mut sessions[i];
+            // Re-key the ordered indexes for the new step tick.
+            ready.remove(&(s.last_step_tick, s.admission_seq, s.req.id));
+            if use_fifo {
+                fifo.remove(&(s.admission_seq, s.last_step_tick, s.req.id));
+            }
+            s.last_step_tick = tick;
+            let done_ms = now + clock.to_ms(spill_cycles + finish);
+            let mut is_done = false;
+            if s.prefilled {
+                s.generated += 1;
+                s.tbt_ms.push(own_ms);
+                if s.generated == s.req.generate_tokens {
+                    s.finish_ms = done_ms;
+                    is_done = true;
+                }
+            } else {
+                s.prefilled = true;
+                s.prefill_ms = own_ms;
+                s.first_token_ms = done_ms;
+                if s.phase.finishes_at_prefill() {
+                    s.finish_ms = done_ms;
+                    is_done = true;
+                }
+            }
+            // Refresh the cached sizes and running sums; finishers keep
+            // counting until the peak snapshot below, exactly as the tick
+            // core's end-of-tick scan observes them.
+            let new_resident = s.kv_bytes(model);
+            let new_next = s.next_kv(model);
+            active_resident_sum = active_resident_sum - resident_kv[i] + new_resident;
+            active_next_sum = active_next_sum - next_kv[i] + new_next;
+            resident_kv[i] = new_resident;
+            next_kv[i] = new_next;
+            if paged {
+                // The step's KV writes land as measured attention
+                // traffic; residency grows in place.
+                active_held_sum = active_held_sum - s.held_bytes + new_resident;
+                s.held_bytes = new_resident;
+                s.loaded_bytes = new_resident;
+            }
+            if is_done {
+                finished.push(i);
+            } else {
+                ready.insert((tick, s.admission_seq, s.req.id));
+                if use_fifo {
+                    fifo.insert((s.admission_seq, tick, s.req.id));
+                }
+            }
+        }
+        // Residency peaks at tick end, before completed caches are freed;
+        // paged residency also counts zombie pages. Both are the running
+        // sums — no scan.
+        let resident = if paged { active_held_sum + wait_held_sum } else { active_resident_sum };
+        peak_kv = peak_kv.max(resident);
+        if let Some(pool) = pages.as_ref() {
+            // Every frame is owned by a resident or demoted session and
+            // each owner's held bytes fit its frames, so pool occupancy
+            // minus total held bytes equals the per-session frag sum.
+            frag_peak = frag_peak.max(pool.frag_total_bytes(active_held_sum + wait_held_sum));
+            debug_assert!(pool.conserves_pages(), "page tables must conserve the pool");
+        }
+        for &i in &finished {
+            active_resident_sum -= resident_kv[i];
+            active_next_sum -= next_kv[i];
+            if let Some(pool) = pages.as_mut() {
+                let s = &mut sessions[i];
+                pool.release(s.req.id);
+                active_held_sum -= s.held_bytes;
+                s.held_bytes = 0;
+                s.loaded_bytes = 0;
+            }
+        }
+        settled += finished.len();
+        now += clock.to_ms(tick_cycles);
+    }
+
+    ledger.merge(kv_dram.ledger());
+    let totals = SchedTotals {
+        ticks: tick,
+        makespan_ms: now,
+        peak_kv,
+        frag_peak,
+        total_evictions,
+        page_spills,
+        page_faults,
+        rejected,
+    };
+    Ok(finalize_report(config, model, &sessions, ledger, totals))
+}
+
+/// Memo key of one session's next step: `(prompt_tokens, token_index)`,
+/// with index 0 encoding the prefill pass (decode indices start at 1, so
+/// the key reproduces the exact `decode_latency(prompt, generated + 1)` /
+/// `prefill_latency(prompt)` calls of the tick core).
+fn step_key(s: &Session) -> (usize, usize) {
+    if s.prefilled {
+        (s.req.prompt_tokens, s.generated + 1)
+    } else {
+        (s.req.prompt_tokens, 0)
+    }
 }
 
 impl MeadowEngine {

@@ -61,6 +61,22 @@ pub enum SessionPhase {
     DecodeOnly,
 }
 
+impl SessionPhase {
+    /// Whether a leg of this phase begins with its prompt KV already
+    /// present (a decode-only leg resumes a prefill that ran elsewhere,
+    /// delivered over the NoC handoff).
+    pub fn starts_prefilled(self) -> bool {
+        self == SessionPhase::DecodeOnly
+    }
+
+    /// Whether a leg of this phase is complete once its prefill step has
+    /// produced the prompt KV and first token (the cache then leaves over
+    /// the NoC; the disaggregation driver charges the handoff).
+    pub fn finishes_at_prefill(self) -> bool {
+        self == SessionPhase::PrefillOnly
+    }
+}
+
 /// Latency trace of one generation request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionTrace {

@@ -1,0 +1,194 @@
+//! Equivalence suite for the two scheduler cores: the event-driven core
+//! ([`SchedulerCore::Event`], the default) must produce **bit-identical**
+//! reports to the retained tick-scan core ([`SchedulerCore::Tick`], the
+//! migration oracle) on randomized traces across every serving mode —
+//! single chip, sharded cluster (all placements, with and without
+//! migration), and prefill/decode disaggregation — and across KV
+//! policies, budgets, SLO admission, and speculative decoding.
+//!
+//! The cores share one iteration structure (one heap drain = one tick
+//! scan) and one report epilogue; the event core only skips work the tick
+//! scan would discover to be a no-op. Any divergence here is a scheduling
+//! bug, not an accuracy trade-off, so the assertions are exact `==` on
+//! whole report structs.
+
+mod common;
+
+use common::requests_from_seed;
+use meadow::core::cluster::{
+    Colocated, LeastLoadedKv, PrefillDecodeSplit, RoundRobin, SessionAffinity, ToLeastLoaded,
+};
+use meadow::core::serve::{AdmissionPolicy, KvPolicy, SchedulerCore, ServeConfig, SpecDecode};
+use meadow::core::spec::ServeSpec;
+use meadow::core::{EngineConfig, MeadowEngine};
+use meadow::models::presets;
+use meadow::models::workload::ArrivalTrace;
+use proptest::prelude::*;
+
+fn engine() -> MeadowEngine {
+    MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap()
+}
+
+/// A KV budget scaled off the trace's largest single request, so small
+/// multipliers force eviction churn and large ones admit everything.
+fn budget_for(trace: &ArrivalTrace, multiplier: u64) -> u64 {
+    let model = presets::tiny_decoder();
+    let single_max = trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap_or(0);
+    multiplier * single_max.max(1)
+}
+
+fn policy_from(idx: u8) -> KvPolicy {
+    match idx % 3 {
+        0 => KvPolicy::Fifo,
+        1 => KvPolicy::Lru,
+        _ => KvPolicy::PagedLru,
+    }
+}
+
+fn admission_from(idx: u8) -> AdmissionPolicy {
+    match idx % 3 {
+        0 => AdmissionPolicy::Queue,
+        // Tight and loose SLOs: the first sheds most of an overloaded
+        // backlog, the second only stragglers.
+        1 => AdmissionPolicy::RejectAfter { ttft_slo_ms: 1.0 },
+        _ => AdmissionPolicy::RejectAfter { ttft_slo_ms: 50.0 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Single-chip serving: both cores agree bit-exactly under any KV
+    /// policy, budget pressure, and admission policy.
+    #[test]
+    fn single_chip_cores_agree(
+        seed in 0u64..1_000,
+        n in 1usize..24,
+        policy_idx in 0u8..3,
+        budget_mult in 1u64..6,
+        admission_idx in 0u8..3,
+    ) {
+        let engine = engine();
+        let trace = requests_from_seed(seed, n, 24, 8, 0.5);
+        let config = ServeConfig::default()
+            .with_budget(budget_for(&trace, budget_mult))
+            .with_policy(policy_from(policy_idx))
+            .with_max_batch(4)
+            .with_admission(admission_from(admission_idx));
+        let run = |core| {
+            ServeSpec::builder()
+                .config(config)
+                .scheduler(core)
+                .build()
+                .unwrap()
+                .run(&engine, &trace)
+                .unwrap()
+                .into_single()
+                .unwrap()
+        };
+        prop_assert_eq!(run(SchedulerCore::Event), run(SchedulerCore::Tick));
+    }
+
+    /// Speculative decoding exercises the flush-credit path; the cores
+    /// must agree on every draft length and acceptance rate.
+    #[test]
+    fn speculation_cores_agree(
+        seed in 0u64..1_000,
+        n in 1usize..16,
+        draft_len in 1usize..6,
+        acceptance in 0.0f64..=1.0,
+    ) {
+        let engine = engine();
+        let trace = requests_from_seed(seed, n, 24, 8, 0.5);
+        let config = ServeConfig::default()
+            .with_budget(budget_for(&trace, 3))
+            .with_policy(KvPolicy::Lru)
+            .with_max_batch(4)
+            .with_speculation(SpecDecode { draft_len, acceptance, draft_cost_ratio: 0.3 });
+        let run = |core| {
+            ServeSpec::builder()
+                .config(config)
+                .scheduler(core)
+                .build()
+                .unwrap()
+                .run(&engine, &trace)
+                .unwrap()
+                .into_single()
+                .unwrap()
+        };
+        prop_assert_eq!(run(SchedulerCore::Event), run(SchedulerCore::Tick));
+    }
+
+    /// Sharded cluster serving: per-chip reports and the aggregate must
+    /// agree under every placement policy, with and without migration.
+    #[test]
+    fn cluster_cores_agree(
+        seed in 0u64..1_000,
+        n in 1usize..24,
+        chips in 1usize..4,
+        placement_idx in 0u8..3,
+        migrate in any::<bool>(),
+        policy_idx in 0u8..3,
+    ) {
+        let engine = engine();
+        let trace = requests_from_seed(seed, n, 24, 8, 0.5);
+        let config = ServeConfig::default()
+            .with_budget(budget_for(&trace, 2))
+            .with_policy(policy_from(policy_idx))
+            .with_max_batch(4);
+        let run = |core| {
+            let mut builder = ServeSpec::builder().chips(chips).config(config);
+            builder = match placement_idx % 3 {
+                0 => builder.placement(RoundRobin),
+                1 => builder.placement(LeastLoadedKv),
+                _ => builder.placement(SessionAffinity),
+            };
+            if migrate {
+                builder = builder.migration(ToLeastLoaded);
+            }
+            builder
+                .scheduler(core)
+                .build()
+                .unwrap()
+                .run(&engine, &trace)
+                .unwrap()
+                .into_cluster()
+                .unwrap()
+        };
+        prop_assert_eq!(run(SchedulerCore::Event), run(SchedulerCore::Tick));
+    }
+
+    /// Disaggregated serving: the NoC-charged prefill→decode handoff and
+    /// both phase pools must agree across split shapes.
+    #[test]
+    fn disaggregated_cores_agree(
+        seed in 0u64..1_000,
+        n in 1usize..16,
+        prefill_chips in 1usize..4,
+        colocated in any::<bool>(),
+    ) {
+        let engine = engine();
+        let trace = requests_from_seed(seed, n, 24, 8, 0.5);
+        let config = ServeConfig::default()
+            .with_budget(budget_for(&trace, 2))
+            .with_policy(KvPolicy::Lru)
+            .with_max_batch(4);
+        let run = |core| {
+            let builder = ServeSpec::builder().chips(4).config(config);
+            let builder = if colocated {
+                builder.phases(Colocated)
+            } else {
+                builder.phases(PrefillDecodeSplit { prefill_chips })
+            };
+            builder
+                .scheduler(core)
+                .build()
+                .unwrap()
+                .run(&engine, &trace)
+                .unwrap()
+                .into_disaggregated()
+                .unwrap()
+        };
+        prop_assert_eq!(run(SchedulerCore::Event), run(SchedulerCore::Tick));
+    }
+}
