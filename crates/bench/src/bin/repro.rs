@@ -41,6 +41,7 @@ const GENERATORS: &[(&str, Generator)] = &[
     ("lossless", figs_packing::lossless),
     ("serve", figs_serve::serve_artifact),
     ("serve_paged", figs_serve::serve_paged_artifact),
+    ("serve_kvcomp", figs_serve::serve_kvcomp_artifact),
     ("serve_cluster", figs_serve::serve_cluster_artifact),
     ("serve_disagg", figs_serve::serve_disagg_artifact),
     ("serve_scale", figs_serve::serve_scale_artifact),

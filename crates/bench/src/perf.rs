@@ -27,6 +27,7 @@ use meadow_models::presets;
 use meadow_models::weights::ModelWeights;
 use meadow_models::workload::ArrivalTrace;
 use meadow_models::workload::ZipfLengths;
+use meadow_models::KvCompression;
 use meadow_packing::chunk::{decompose, decompose_with, ChunkConfig};
 use meadow_tensor::fixed::ExpLut;
 use meadow_tensor::gemm::{matmul_i8_tiled, matmul_i8_tiled_with};
@@ -282,6 +283,32 @@ fn serve_paged_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     named_case(format!("serve_paged_{requests}x{generate}"), serial, parallel)
 }
 
+fn serve_kvcomp_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (requests, generate) = if opts.quick { (4, 6) } else { (8, 12) };
+    let model = presets::tiny_decoder();
+    // The squeezed `serve_continuous_batch` scenario with VEDA token
+    // eviction on: every per-step KV accounting call routes through the
+    // sizer (vote model, keep-ratio rounding), which is the overhead this
+    // case guards.
+    let trace = ArrivalTrace::uniform(requests, 0.01, 16, generate);
+    let budget = trace.total_peak_kv_bytes(&model) / 2;
+    let config = ServeConfig::default()
+        .with_budget(budget)
+        .with_kv_compression(KvCompression::VedaVote { keep_ratio: 0.5 });
+    let spec = ServeSpec::builder().config(config).build().expect("valid spec");
+    let serial_engine =
+        MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).expect("valid engine");
+    let parallel_engine = MeadowEngine::new(EngineConfig::zcu102(model, 12.0).with_exec(*exec))
+        .expect("valid engine");
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(spec.run(&serial_engine, &trace).expect("serve succeeds"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(spec.run(&parallel_engine, &trace).expect("serve succeeds"));
+    });
+    named_case(format!("serve_kvcomp_{requests}x{generate}"), serial, parallel)
+}
+
 fn serve_cluster_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     let (requests, generate) = if opts.quick { (6, 5) } else { (12, 8) };
     let model = presets::tiny_decoder();
@@ -426,6 +453,7 @@ pub fn run_suite(bench_id: &str, opts: &PerfOptions) -> BenchReport {
         forward_case(opts, &exec),
         serve_case(opts, &exec),
         serve_paged_case(opts, &exec),
+        serve_kvcomp_case(opts, &exec),
         serve_cluster_case(opts, &exec),
         serve_disagg_case(opts, &exec),
         serve_1m_case(opts, &exec),
@@ -579,7 +607,7 @@ mod tests {
     fn suite_emits_versioned_round_trippable_json() {
         let report = run_suite("test", &quick_opts());
         assert_eq!(report.schema_version, SCHEMA_VERSION);
-        assert_eq!(report.cases.len(), 8);
+        assert_eq!(report.cases.len(), 9);
         assert!(report.cases.iter().all(|c| c.speedup > 0.0));
         assert_eq!(report.file_name(), "BENCH_test.json");
         let json = report.to_json().unwrap();
@@ -599,7 +627,7 @@ mod tests {
         assert_eq!(tree.get("threads").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(tree.get("quick").and_then(|v| v.as_bool()), Some(true));
         let cases = tree.get("cases").and_then(|v| v.as_seq()).unwrap();
-        assert_eq!(cases.len(), 8);
+        assert_eq!(cases.len(), 9);
         for case in cases {
             assert!(case.get("name").and_then(|v| v.as_str()).is_some());
             for variant in ["serial", "parallel"] {

@@ -77,7 +77,8 @@
 
 use crate::error::CoreError;
 use crate::serve::{
-    serve_on_chip, LatencySummary, SchedulerCore, ServeConfig, ServeError, ServeReport, ServeTrace,
+    kv_sizer, serve_on_chip, KvSummary, LatencySummary, SchedulerCore, ServeConfig, ServeError,
+    ServeReport, ServeTrace,
 };
 use crate::session::SessionPhase;
 use crate::MeadowEngine;
@@ -767,6 +768,12 @@ pub struct ClusterReport {
     /// [`noc_link_bytes`](ClusterReport::noc_link_bytes) counts both the
     /// park and pull-back legs of NoC migration.
     pub dram_kv_bytes: u64,
+    /// KV layout/compression accounting aggregated across the chips —
+    /// `Some` only when the run used a non-dense layout or token-level
+    /// compression, and omitted from the serialized JSON otherwise
+    /// (pre-seam cluster reports stay byte-stable).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kv: Option<KvSummary>,
     /// Per-chip reports, in chip order.
     pub per_chip: Vec<ChipReport>,
 }
@@ -1003,6 +1010,7 @@ impl Cluster {
         let chips = self.nodes.len();
         let model = &self.nodes[0].engine.config().model;
         trace.validate(model)?;
+        let sizer = kv_sizer(model, &self.config.serve)?;
 
         // Placement: route requests in arrival order (ties by id), keeping
         // a running load picture for load-aware policies.
@@ -1029,7 +1037,7 @@ impl Cluster {
                 return Err(ServeError::PlacementOutOfRange { chip, chips }.into());
             }
             loads[chip].assigned_requests += 1;
-            loads[chip].assigned_peak_kv_bytes += request.peak_kv_bytes(model);
+            loads[chip].assigned_peak_kv_bytes += sizer.bytes(request.final_context_len());
             assignment[idx] = chip;
         }
         // Per-chip shards keep the input trace's request order, so a
@@ -1106,8 +1114,25 @@ impl Cluster {
         let mut max_chip_peak = 0u64;
         let mut spilled = 0u64;
         let mut stats_total = MigrationStats::default();
+        // Non-dense runs: accumulate the per-chip KV summaries, with the
+        // retained mass weighted by dense final bytes (proportional to
+        // final context tokens, so the cluster mean matches what one chip
+        // serving the whole trace would report).
+        let mut kv_acc: Option<KvSummary> = None;
         for (chip, result) in results.into_iter().enumerate() {
             let (report, migration) = result?;
+            if let Some(chip_kv) = report.kv {
+                let acc = kv_acc.get_or_insert(KvSummary {
+                    retained_attention_mass: 0.0,
+                    dense_final_kv_bytes: 0,
+                    final_kv_bytes: 0,
+                    ..chip_kv
+                });
+                acc.retained_attention_mass +=
+                    chip_kv.retained_attention_mass * chip_kv.dense_final_kv_bytes as f64;
+                acc.dense_final_kv_bytes += chip_kv.dense_final_kv_bytes;
+                acc.final_kv_bytes += chip_kv.final_kv_bytes;
+            }
             latencies.extend(
                 report.traces.iter().filter(|t| !t.rejected).map(ServeTrace::total_latency_ms),
             );
@@ -1130,6 +1155,14 @@ impl Cluster {
                 report,
             });
         }
+        let kv = kv_acc.map(|mut acc| {
+            acc.retained_attention_mass = if acc.dense_final_kv_bytes == 0 {
+                1.0
+            } else {
+                acc.retained_attention_mass / acc.dense_final_kv_bytes as f64
+            };
+            acc
+        });
         let latency = LatencySummary::from_samples(latencies);
         let max_demand = loads.iter().map(|l| l.assigned_peak_kv_bytes).max().unwrap_or(0) as f64;
         let mean_demand =
@@ -1158,6 +1191,7 @@ impl Cluster {
             noc_link_bytes: stats_total.noc_link_bytes,
             noc_link_cycles: stats_total.noc_link_cycles,
             dram_kv_bytes: spilled,
+            kv,
             per_chip,
         })
     }
@@ -1203,6 +1237,7 @@ impl Cluster {
         let chips = self.nodes.len();
         let model = &self.nodes[0].engine.config().model;
         trace.validate(model)?;
+        let sizer = kv_sizer(model, &self.config.serve)?;
 
         // Placement: identical arrival ordering and load bookkeeping to
         // `serve`, so `Colocated` degenerates to it exactly. The combined
@@ -1241,12 +1276,12 @@ impl Cluster {
                     return Err(ServeError::PlacementOutOfRange { chip, chips }.into());
                 }
             }
-            let peak = request.peak_kv_bytes(model);
+            let peak = sizer.bytes(request.final_context_len());
             if pa.is_split() {
                 // The prefill chip only ever holds the prompt KV (it
                 // leaves at the phase boundary); the decode chip holds the
                 // request's full peak.
-                let prompt_kv = request.prompt_kv_bytes(model);
+                let prompt_kv = sizer.bytes(request.prompt_tokens);
                 loads[pa.prefill_chip].assigned_requests += 1;
                 loads[pa.prefill_chip].assigned_peak_kv_bytes += prompt_kv;
                 loads[pa.decode_chip].assigned_requests += 1;
@@ -1308,7 +1343,7 @@ impl Cluster {
             if pre.rejected {
                 continue;
             }
-            let bytes = request.prompt_kv_bytes(model);
+            let bytes = sizer.bytes(request.prompt_tokens);
             let hops = pa.prefill_chip.abs_diff(pa.decode_chip) as u32;
             let ms = clock.to_ms(noc.transfer_hops(bytes, hops));
             handoffs += 1;

@@ -78,8 +78,8 @@ use crate::kv_pages::KvPageAllocator;
 use crate::session::SessionPhase;
 use meadow_dataflow::pipeline::flow_shop_completion_times;
 use meadow_dataflow::LayerLatency;
-use meadow_models::workload::{kv_cache_total_bytes, ArrivalTrace, ServeRequest};
-use meadow_models::TransformerConfig;
+use meadow_models::workload::{kv_cache_total_bytes, ArrivalTrace, KvSizer, ServeRequest};
+use meadow_models::{KvCompression, KvLayout, TransformerConfig};
 use meadow_sim::{Cycles, DramModel, TrafficLedger};
 use meadow_tensor::parallel::par_map;
 use serde::{Deserialize, Serialize};
@@ -144,6 +144,14 @@ pub enum ServeError {
         /// The chip that received legs from both stages.
         chip: usize,
     },
+    /// A [`KvLayout`]/[`KvCompression`] combination that is structurally
+    /// invalid (zero `kv_heads`, zero `window`, a `keep_ratio` outside
+    /// `(0, 1]`) or incompatible with the model (`kv_heads` must divide
+    /// the model's head count).
+    InvalidKvLayout {
+        /// Why the layout was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -175,6 +183,9 @@ impl fmt::Display for ServeError {
                 "phase placement routed both prefill-stage and decode-stage legs to chip {chip}; \
                  the stage pools must be disjoint"
             ),
+            ServeError::InvalidKvLayout { reason } => {
+                write!(f, "invalid KV layout: {reason}")
+            }
         }
     }
 }
@@ -322,6 +333,17 @@ pub struct ServeConfig {
     /// JSON still deserializes.
     #[serde(default)]
     pub speculation: Option<SpecDecode>,
+    /// Physical KV-cache layout every session's byte accounting uses
+    /// ([`KvLayout::Dense`] = today's full-length caches, bit-identical to
+    /// the pre-seam scheduler). Missing from pre-layout serialized
+    /// configs, so old JSON still deserializes.
+    #[serde(default)]
+    pub kv_layout: KvLayout,
+    /// Token-level KV eviction model layered on the layout
+    /// ([`KvCompression::None`] = keep every resident token). Missing from
+    /// pre-compression serialized configs, so old JSON still deserializes.
+    #[serde(default)]
+    pub kv_compression: KvCompression,
 }
 
 impl Default for ServeConfig {
@@ -333,6 +355,8 @@ impl Default for ServeConfig {
             admission: AdmissionPolicy::Queue,
             page_bytes: Self::DEFAULT_PAGE_BYTES,
             speculation: None,
+            kv_layout: KvLayout::Dense,
+            kv_compression: KvCompression::None,
         }
     }
 }
@@ -378,6 +402,16 @@ impl ServeConfig {
         Self { speculation: Some(speculation), ..self }
     }
 
+    /// The same configuration with a different KV-cache layout.
+    pub fn with_kv_layout(self, kv_layout: KvLayout) -> Self {
+        Self { kv_layout, ..self }
+    }
+
+    /// The same configuration with a token-level KV compression model.
+    pub fn with_kv_compression(self, kv_compression: KvCompression) -> Self {
+        Self { kv_compression, ..self }
+    }
+
     /// Construction-time validation: rejects a zero `max_batch`, a zero
     /// `page_bytes` under [`KvPolicy::PagedLru`], and a non-finite or
     /// negative [`AdmissionPolicy::RejectAfter`] SLO with a typed
@@ -403,6 +437,26 @@ impl ServeConfig {
         }
         if let Some(spec) = self.speculation {
             spec.validate()?;
+        }
+        match self.kv_layout {
+            KvLayout::GroupedHeads { kv_heads: 0 } => {
+                return Err(ServeError::InvalidKvLayout {
+                    reason: "GroupedHeads needs at least one kv head".into(),
+                });
+            }
+            KvLayout::SlidingWindow { window: 0, .. } => {
+                return Err(ServeError::InvalidKvLayout {
+                    reason: "SlidingWindow needs a window of at least one token".into(),
+                });
+            }
+            _ => {}
+        }
+        if let KvCompression::VedaVote { keep_ratio } = self.kv_compression {
+            if !keep_ratio.is_finite() || keep_ratio <= 0.0 || keep_ratio > 1.0 {
+                return Err(ServeError::InvalidKvLayout {
+                    reason: format!("VedaVote keep_ratio must be in (0, 1], got {keep_ratio}"),
+                });
+            }
         }
         Ok(())
     }
@@ -465,6 +519,18 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the KV-cache layout.
+    pub fn kv_layout(mut self, kv_layout: KvLayout) -> Self {
+        self.config.kv_layout = kv_layout;
+        self
+    }
+
+    /// Sets the token-level KV compression model.
+    pub fn kv_compression(mut self, kv_compression: KvCompression) -> Self {
+        self.config.kv_compression = kv_compression;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -475,6 +541,17 @@ impl ServeConfigBuilder {
         self.config.validate()?;
         Ok(self.config)
     }
+}
+
+/// Builds the [`KvSizer`] a serving run accounts KV bytes with, mapping
+/// model incompatibility (e.g. `kv_heads` not dividing the model's head
+/// count) to a typed [`ServeError::InvalidKvLayout`].
+pub(crate) fn kv_sizer(
+    model: &TransformerConfig,
+    config: &ServeConfig,
+) -> Result<KvSizer, ServeError> {
+    KvSizer::new(model, config.kv_layout, config.kv_compression)
+        .map_err(|e| ServeError::InvalidKvLayout { reason: e.to_string() })
 }
 
 /// Serving-side record of one completed (or rejected) request.
@@ -523,6 +600,28 @@ impl ServeTrace {
     pub fn ttft_ms(&self) -> f64 {
         self.first_token_ms - self.arrival_ms
     }
+}
+
+/// KV layout/compression accounting of one serving run, attached to
+/// [`ServeReport::kv`] (and aggregated into `ClusterReport::kv`) whenever
+/// the run used a non-dense layout or token-level compression. Absent —
+/// and absent from the serialized JSON — for dense uncompressed runs, so
+/// every pre-seam report stays byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KvSummary {
+    /// KV-cache layout the run accounted with.
+    pub layout: KvLayout,
+    /// Token-level compression model the run accounted with.
+    pub compression: KvCompression,
+    /// Context-length-weighted mean of the per-request retained attention
+    /// mass over completed requests, in `[0, 1]` (1.0 when nothing
+    /// completed) — the accuracy proxy reported alongside latency.
+    pub retained_attention_mass: f64,
+    /// Final KV bytes the completed requests would have occupied under a
+    /// dense full-length layout.
+    pub dense_final_kv_bytes: u64,
+    /// Final KV bytes they actually occupied under this layout/compression.
+    pub final_kv_bytes: u64,
 }
 
 /// Aggregate result of one serving run.
@@ -576,6 +675,11 @@ pub struct ServeReport {
     /// plus serving-level
     /// [`TrafficClass::KvCache`](meadow_sim::TrafficClass) migration.
     pub ledger: TrafficLedger,
+    /// KV layout/compression accounting — `Some` only when the run used a
+    /// non-dense layout or token-level compression, and omitted from the
+    /// serialized JSON otherwise (pre-seam reports stay byte-stable).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kv: Option<KvSummary>,
     /// Per-request traces, in the input trace's request order.
     pub traces: Vec<ServeTrace>,
 }
@@ -666,10 +770,11 @@ impl Session {
     }
 
     /// Logical KV bytes the session's processed tokens occupy (prompt +
-    /// generated so far; nothing before prefill).
-    fn kv_bytes(&self, model: &TransformerConfig) -> u64 {
+    /// generated so far; nothing before prefill), under the run's KV
+    /// layout/compression.
+    fn kv_bytes(&self, sizer: &KvSizer) -> u64 {
         if self.prefilled {
-            kv_cache_total_bytes(model, self.req.prompt_tokens + self.generated)
+            sizer.bytes(self.req.prompt_tokens + self.generated)
         } else {
             0
         }
@@ -677,17 +782,17 @@ impl Session {
 
     /// KV bytes the session holds while resident, as the whole-cache
     /// policies account them.
-    fn resident_kv(&self, model: &TransformerConfig) -> u64 {
-        self.kv_bytes(model)
+    fn resident_kv(&self, sizer: &KvSizer) -> u64 {
+        self.kv_bytes(sizer)
     }
 
     /// KV bytes the session will hold after its next step (prefill writes
     /// the whole prompt's keys/values; each decode step appends one token).
-    fn next_kv(&self, model: &TransformerConfig) -> u64 {
+    fn next_kv(&self, sizer: &KvSizer) -> u64 {
         if self.prefilled {
-            kv_cache_total_bytes(model, self.req.prompt_tokens + self.generated + 1)
+            sizer.bytes(self.req.prompt_tokens + self.generated + 1)
         } else {
-            kv_cache_total_bytes(model, self.req.prompt_tokens)
+            sizer.bytes(self.req.prompt_tokens)
         }
     }
 
@@ -856,10 +961,11 @@ fn serve_on_chip_tick(
     let model = &engine.config().model;
     trace.validate(model)?;
     config.validate()?;
+    let sizer = kv_sizer(model, config)?;
     let paged = config.policy == KvPolicy::PagedLru;
     if let Some(budget) = config.kv_budget_bytes {
         for r in &trace.requests {
-            let peak = r.peak_kv_bytes(model);
+            let peak = sizer.bytes(r.final_context_len());
             if peak > budget {
                 return Err(ServeError::RequestExceedsBudget {
                     id: r.id,
@@ -884,8 +990,11 @@ fn serve_on_chip_tick(
     // — per session, because each partially filled tail page burns a frame
     // — which no reachable allocation exceeds.
     let mut pages: Option<KvPageAllocator> = if paged {
-        let frames: u64 =
-            trace.requests.iter().map(|r| r.peak_kv_bytes(model).div_ceil(config.page_bytes)).sum();
+        let frames: u64 = trace
+            .requests
+            .iter()
+            .map(|r| sizer.bytes(r.final_context_len()).div_ceil(config.page_bytes))
+            .sum();
         Some(KvPageAllocator::new(frames.max(1) as usize, config.page_bytes)?)
     } else {
         None
@@ -966,8 +1075,8 @@ fn serve_on_chip_tick(
         // scheduler — a blocked head with no stepping session would never
         // advance the clock, so the pages would never free.
         while let Some(&head) = wait.front() {
-            let projected: u64 = active.iter().map(|&i| sessions[i].next_kv(model)).sum::<u64>()
-                + sessions[head].next_kv(model);
+            let projected: u64 = active.iter().map(|&i| sessions[i].next_kv(&sizer)).sum::<u64>()
+                + sessions[head].next_kv(&sizer);
             if config.kv_budget_bytes.is_some_and(|b| projected > b) {
                 break;
             }
@@ -982,7 +1091,7 @@ fn serve_on_chip_tick(
                 // Re-admission reserves frames for the whole cache up
                 // front (the budget accounted it at admission); the data
                 // itself reloads page-by-page before the next step.
-                let kv = s.kv_bytes(model);
+                let kv = s.kv_bytes(&sizer);
                 s.held_bytes = kv;
                 pool.grow(
                     s.req.id,
@@ -1027,9 +1136,10 @@ fn serve_on_chip_tick(
                 // the unspilled pages of demoted (zombie) sessions.
                 let zombie_held: u64 =
                     if paged { wait.iter().map(|&i| sessions[i].held_bytes).sum() } else { 0 };
-                let needed: u64 = step_set.iter().map(|&i| sessions[i].next_kv(model)).sum::<u64>()
-                    + idle.iter().map(|&i| sessions[i].resident_kv(model)).sum::<u64>()
-                    + zombie_held;
+                let needed: u64 =
+                    step_set.iter().map(|&i| sessions[i].next_kv(&sizer)).sum::<u64>()
+                        + idle.iter().map(|&i| sessions[i].resident_kv(&sizer)).sum::<u64>()
+                        + zombie_held;
                 if needed <= budget {
                     break;
                 }
@@ -1121,7 +1231,7 @@ fn serve_on_chip_tick(
                     let victim = idle
                         .iter()
                         .copied()
-                        .filter(|&i| sessions[i].resident_kv(model) > 0)
+                        .filter(|&i| sessions[i].resident_kv(&sizer) > 0)
                         .min_by_key(|&i| sessions[i].victim_key(config.policy))
                         .or_else(|| {
                             // Evicting the last stepping session is impossible:
@@ -1148,7 +1258,7 @@ fn serve_on_chip_tick(
                             s.spilled_kv_bytes = s.pending_reload_bytes;
                             s.pending_reload_bytes = 0;
                         } else {
-                            let bytes = s.resident_kv(model);
+                            let bytes = s.resident_kv(&sizer);
                             spill_cycles +=
                                 charge_spill(&mut kv_dram, &mut migration, s.req.id, bytes, None);
                             s.spilled_kv_bytes = bytes;
@@ -1165,8 +1275,8 @@ fn serve_on_chip_tick(
         for &i in &step_set {
             if let Some(pool) = pages.as_mut() {
                 let s = &mut sessions[i];
-                let existing = s.kv_bytes(model);
-                let next = s.next_kv(model);
+                let existing = s.kv_bytes(&sizer);
+                let next = s.next_kv(&sizer);
                 pool.grow(s.req.id, pool.pages_for(next), (tick, s.admission_seq, s.req.id))
                     .expect("pool is sized for the whole trace");
                 // Fault the off-chip suffix back in, page by page (the
@@ -1273,7 +1383,7 @@ fn serve_on_chip_tick(
             if paged {
                 // The step's own KV writes land on chip as part of the
                 // measured attention traffic; residency grows in place.
-                let kv = s.kv_bytes(model);
+                let kv = s.kv_bytes(&sizer);
                 s.held_bytes = kv;
                 s.loaded_bytes = kv;
             }
@@ -1284,7 +1394,7 @@ fn serve_on_chip_tick(
         let resident: u64 = if paged {
             active.iter().chain(wait.iter()).map(|&i| sessions[i].held_bytes).sum()
         } else {
-            active.iter().map(|&i| sessions[i].resident_kv(model)).sum()
+            active.iter().map(|&i| sessions[i].resident_kv(&sizer)).sum()
         };
         peak_kv = peak_kv.max(resident);
         if let Some(pool) = pages.as_ref() {
@@ -1319,7 +1429,7 @@ fn serve_on_chip_tick(
         page_faults,
         rejected,
     };
-    Ok(finalize_report(config, model, &sessions, ledger, totals))
+    Ok(finalize_report(config, model, &sizer, &sessions, ledger, totals))
 }
 
 /// Aggregate counters a scheduler core hands to [`finalize_report`].
@@ -1340,6 +1450,7 @@ struct SchedTotals {
 fn finalize_report(
     config: &ServeConfig,
     model: &TransformerConfig,
+    sizer: &KvSizer,
     sessions: &[Session],
     ledger: TrafficLedger,
     totals: SchedTotals,
@@ -1364,10 +1475,11 @@ fn finalize_report(
             final_kv_bytes: if s.rejected {
                 0
             } else {
-                kv_cache_total_bytes(model, s.req.prompt_tokens + s.generated)
+                sizer.bytes(s.req.prompt_tokens + s.generated)
             },
         })
         .collect();
+    let kv = kv_summary(model, sizer, sessions);
     let total_generated: u64 = traces.iter().map(|t| t.generated_tokens as u64).sum();
     let latency = LatencySummary::from_samples(
         traces.iter().filter(|t| !t.rejected).map(ServeTrace::total_latency_ms).collect(),
@@ -1397,8 +1509,43 @@ fn finalize_report(
         total_page_faults: totals.page_faults,
         kv_frag_peak_bytes: totals.frag_peak,
         ledger,
+        kv,
         traces,
     }
+}
+
+/// Builds the [`KvSummary`] of a run, or `None` for the dense identity
+/// (whose reports must stay byte-stable with the pre-seam scheduler).
+/// The retained mass is the context-length-weighted mean over completed
+/// sessions — pure arithmetic on final session state, so both scheduler
+/// cores and every `MEADOW_THREADS` setting agree bit-exactly.
+fn kv_summary(
+    model: &TransformerConfig,
+    sizer: &KvSizer,
+    sessions: &[Session],
+) -> Option<KvSummary> {
+    if sizer.is_dense() {
+        return None;
+    }
+    let mut dense_bytes = 0u64;
+    let mut actual_bytes = 0u64;
+    let mut mass_weighted = 0.0f64;
+    let mut tokens = 0u64;
+    for s in sessions.iter().filter(|s| !s.rejected) {
+        let ctx = s.req.prompt_tokens + s.generated;
+        dense_bytes += kv_cache_total_bytes(model, ctx);
+        actual_bytes += sizer.bytes(ctx);
+        mass_weighted += sizer.retained_attention_mass(ctx) * ctx as f64;
+        tokens += ctx as u64;
+    }
+    let retained_attention_mass = if tokens == 0 { 1.0 } else { mass_weighted / tokens as f64 };
+    Some(KvSummary {
+        layout: sizer.layout(),
+        compression: sizer.compression(),
+        retained_attention_mass,
+        dense_final_kv_bytes: dense_bytes,
+        final_kv_bytes: actual_bytes,
+    })
 }
 
 /// The event-driven implementation of [`serve_on_chip`]
@@ -1445,10 +1592,11 @@ fn serve_on_chip_event(
     let model = &engine.config().model;
     trace.validate(model)?;
     config.validate()?;
+    let sizer = kv_sizer(model, config)?;
     let paged = config.policy == KvPolicy::PagedLru;
     if let Some(budget) = config.kv_budget_bytes {
         for r in &trace.requests {
-            let peak = r.peak_kv_bytes(model);
+            let peak = sizer.bytes(r.final_context_len());
             if peak > budget {
                 return Err(ServeError::RequestExceedsBudget {
                     id: r.id,
@@ -1468,8 +1616,11 @@ fn serve_on_chip_event(
     let mut ledger = TrafficLedger::new();
     // Sized exactly as in the tick core — see the comment there.
     let mut pages: Option<KvPageAllocator> = if paged {
-        let frames: u64 =
-            trace.requests.iter().map(|r| r.peak_kv_bytes(model).div_ceil(config.page_bytes)).sum();
+        let frames: u64 = trace
+            .requests
+            .iter()
+            .map(|r| sizer.bytes(r.final_context_len()).div_ceil(config.page_bytes))
+            .sum();
         Some(KvPageAllocator::new(frames.max(1) as usize, config.page_bytes)?)
     } else {
         None
@@ -1518,8 +1669,8 @@ fn serve_on_chip_event(
     // Cached per-session KV sizes and the running budget sums. The caches
     // are initialized from the *constructed* sessions: a decode-only leg
     // starts prefilled, with its prompt KV logically present.
-    let mut resident_kv: Vec<u64> = sessions.iter().map(|s| s.resident_kv(model)).collect();
-    let mut next_kv: Vec<u64> = sessions.iter().map(|s| s.next_kv(model)).collect();
+    let mut resident_kv: Vec<u64> = sessions.iter().map(|s| s.resident_kv(&sizer)).collect();
+    let mut next_kv: Vec<u64> = sessions.iter().map(|s| s.next_kv(&sizer)).collect();
     // Σ next_kv / Σ resident_kv over resident (ready) sessions, including
     // this iteration's finishers until the peak snapshot.
     let mut active_next_sum = 0u64;
@@ -1936,8 +2087,8 @@ fn serve_on_chip_event(
             // Refresh the cached sizes and running sums; finishers keep
             // counting until the peak snapshot below, exactly as the tick
             // core's end-of-tick scan observes them.
-            let new_resident = s.kv_bytes(model);
-            let new_next = s.next_kv(model);
+            let new_resident = s.kv_bytes(&sizer);
+            let new_next = s.next_kv(&sizer);
             active_resident_sum = active_resident_sum - resident_kv[i] + new_resident;
             active_next_sum = active_next_sum - next_kv[i] + new_next;
             resident_kv[i] = new_resident;
@@ -1996,7 +2147,7 @@ fn serve_on_chip_event(
         page_faults,
         rejected,
     };
-    Ok(finalize_report(config, model, &sessions, ledger, totals))
+    Ok(finalize_report(config, model, &sizer, &sessions, ledger, totals))
 }
 
 /// Memo key of one session's next step: `(prompt_tokens, token_index)`,

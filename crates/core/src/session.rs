@@ -35,7 +35,7 @@
 
 use crate::engine::MeadowEngine;
 use crate::error::CoreError;
-use meadow_models::workload::kv_cache_total_bytes;
+use meadow_models::workload::KvSizer;
 use serde::{Deserialize, Serialize};
 
 /// Which part of a session's lifetime one serving leg covers.
@@ -130,15 +130,37 @@ pub struct InferenceSession<'a> {
     generated: usize,
     ttft_ms: f64,
     tbt_ms: Vec<f64>,
+    /// KV accounting seam: decides how many bytes the final context costs.
+    /// [`InferenceSession::start`] uses the dense identity (bit-exact with
+    /// the pre-seam `kv_cache_total_bytes`); compressed layouts come in via
+    /// [`InferenceSession::start_with_kv`].
+    sizer: KvSizer,
 }
 
 impl<'a> InferenceSession<'a> {
-    /// Starts a session by running the prefill pass.
+    /// Starts a session by running the prefill pass, with dense KV
+    /// accounting.
     ///
     /// # Errors
     ///
     /// Propagates workload validation and executor errors.
     pub fn start(engine: &'a MeadowEngine, prompt_tokens: usize) -> Result<Self, CoreError> {
+        let sizer = KvSizer::dense(&engine.config().model);
+        Self::start_with_kv(engine, prompt_tokens, sizer)
+    }
+
+    /// Starts a session whose KV bytes are accounted through `sizer`
+    /// (layout sharing and/or token-level compression). Latency is
+    /// unaffected — only the byte accounting routes through the seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload validation and executor errors.
+    pub fn start_with_kv(
+        engine: &'a MeadowEngine,
+        prompt_tokens: usize,
+        sizer: KvSizer,
+    ) -> Result<Self, CoreError> {
         let ttft = engine.prefill_latency(prompt_tokens)?;
         Ok(Self {
             engine,
@@ -146,6 +168,7 @@ impl<'a> InferenceSession<'a> {
             generated: 0,
             ttft_ms: ttft.total_ms(),
             tbt_ms: Vec::new(),
+            sizer,
         })
     }
 
@@ -186,11 +209,10 @@ impl<'a> InferenceSession<'a> {
 
     /// Finishes the session, returning its trace.
     pub fn finish(self) -> SessionTrace {
-        let model = &self.engine.config().model;
         SessionTrace {
             prompt_tokens: self.prompt_tokens,
             ttft_ms: self.ttft_ms,
-            final_kv_bytes: kv_cache_total_bytes(model, self.context_len()),
+            final_kv_bytes: self.sizer.bytes(self.context_len()),
             tbt_ms: self.tbt_ms,
         }
     }

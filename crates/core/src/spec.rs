@@ -53,6 +53,7 @@ use crate::error::CoreError;
 use crate::serve::{SchedulerCore, ServeConfig, ServeError, ServeReport, SpecDecode};
 use crate::MeadowEngine;
 use meadow_models::workload::ArrivalTrace;
+use meadow_models::{KvCompression, KvLayout};
 use meadow_sim::noc::NocConfig;
 use std::sync::Arc;
 
@@ -255,6 +256,21 @@ impl ServeSpecBuilder {
     /// per-chip serving configuration.
     pub fn speculation(mut self, speculation: SpecDecode) -> Self {
         self.config = self.config.with_speculation(speculation);
+        self
+    }
+
+    /// Sets the KV-cache layout on the per-chip serving configuration
+    /// ([`KvLayout::Dense`] by default — bit-identical to pre-layout
+    /// serving).
+    pub fn kv_layout(mut self, kv_layout: KvLayout) -> Self {
+        self.config = self.config.with_kv_layout(kv_layout);
+        self
+    }
+
+    /// Sets the token-level KV compression model on the per-chip serving
+    /// configuration ([`KvCompression::None`] by default).
+    pub fn kv_compression(mut self, kv_compression: KvCompression) -> Self {
+        self.config = self.config.with_kv_compression(kv_compression);
         self
     }
 

@@ -56,6 +56,59 @@ impl MatrixKind {
     }
 }
 
+/// Physical layout of the per-session KV cache.
+///
+/// The layout decides how many bytes one cached token costs and which token
+/// positions are materialized at all. `Dense` is the degeneracy oracle: every
+/// other layout (and [`KvCompression`] model) collapses to it at its identity
+/// parameter point, and serving reports under `Dense` are bit-identical to
+/// the pre-seam accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KvLayout {
+    /// Full-length dense cache: every token stores all `heads` K/V heads
+    /// (`2·d_model` bytes per token per layer). Today's behavior.
+    #[default]
+    Dense,
+    /// Grouped-query / multi-query attention: `kv_heads` shared K/V heads
+    /// instead of `heads`, shrinking per-token bytes by `kv_heads / heads`.
+    /// `kv_heads == heads` degenerates to [`KvLayout::Dense`];
+    /// `kv_heads == 1` is MQA.
+    GroupedHeads {
+        /// Number of shared K/V heads; must divide the model's head count.
+        kv_heads: usize,
+    },
+    /// Sliding-window attention with attention sinks: only the first
+    /// `sinks` tokens plus the trailing `window` tokens stay resident.
+    /// `window >= max_seq` degenerates to [`KvLayout::Dense`].
+    SlidingWindow {
+        /// Trailing tokens kept resident.
+        window: usize,
+        /// Leading "sink" tokens always kept resident.
+        sinks: usize,
+    },
+}
+
+/// Token-level KV eviction model applied on top of a [`KvLayout`].
+///
+/// Compression is a deterministic, RNG-free accounting model: it decides how
+/// many token slots survive at each context length and what fraction of
+/// attention mass those survivors retain, without simulating per-head scores.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum KvCompression {
+    /// No token-level eviction; the layout's residency is kept as-is.
+    #[default]
+    None,
+    /// VEDA-style vote eviction: each token position `j` in a context of
+    /// length `L` gets a deterministic vote `w_j = 1/(j+1) + 1/(L-j)`
+    /// (sink + recency U-shape), and only the `ceil(keep_ratio·L)`
+    /// highest-vote tokens stay resident at each step boundary.
+    /// `keep_ratio == 1.0` degenerates to [`KvCompression::None`].
+    VedaVote {
+        /// Fraction of tokens kept, in `(0, 1]`.
+        keep_ratio: f64,
+    },
+}
+
 /// Architecture of a transformer evaluated by MEADOW.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransformerConfig {

@@ -31,7 +31,9 @@ pub mod synthetic;
 pub mod weights;
 pub mod workload;
 
-pub use config::{MatrixKind, ModelKind, TransformerConfig};
+pub use config::{KvCompression, KvLayout, MatrixKind, ModelKind, TransformerConfig};
 pub use error::ModelError;
 pub use synthetic::RedundancyProfile;
-pub use workload::{ArrivalTrace, DecodeWorkload, PrefillWorkload, ServeRequest, ZipfLengths};
+pub use workload::{
+    ArrivalTrace, DecodeWorkload, KvSizer, PrefillWorkload, ServeRequest, ZipfLengths,
+};

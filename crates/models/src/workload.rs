@@ -39,7 +39,7 @@
 //! # }
 //! ```
 
-use crate::config::{ModelKind, TransformerConfig};
+use crate::config::{KvCompression, KvLayout, ModelKind, TransformerConfig};
 use crate::error::ModelError;
 use crate::synthetic::ZipfSampler;
 use rand::Rng;
@@ -137,6 +137,178 @@ pub fn kv_cache_layer_bytes(config: &TransformerConfig, context_len: usize) -> u
 /// KV-cache bytes for the whole model.
 pub fn kv_cache_total_bytes(config: &TransformerConfig, context_len: usize) -> u64 {
     kv_cache_layer_bytes(config, context_len) * config.layers as u64
+}
+
+/// Deterministic vote of token position `j` in a context of length `len`:
+/// `1/(j+1) + 1/(len-j)` — large for early (sink) and recent tokens, the
+/// U-shape VEDA-style eviction exploits.
+fn token_vote(j: usize, len: usize) -> f64 {
+    1.0 / (j as f64 + 1.0) + 1.0 / ((len - j) as f64)
+}
+
+/// KV accounting for one `(model, layout, compression)` triple: how many
+/// bytes a context of a given length occupies, how many token slots stay
+/// resident, and what fraction of attention mass the survivors retain.
+///
+/// All serving-side KV byte math goes through this seam instead of calling
+/// [`kv_cache_total_bytes`] directly. For `KvLayout::Dense` +
+/// `KvCompression::None` the products are identical `u64` expressions, so
+/// dense accounting is bit-exact with the pre-seam code.
+///
+/// [`KvSizer::bytes`] and [`KvSizer::tokens_kept`] are monotone
+/// nondecreasing in the context length, which keeps page-pool growth
+/// (`kv_pages::grow`, add-only) and spill/reload deltas non-negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvSizer {
+    layout: KvLayout,
+    compression: KvCompression,
+    /// Whole-model bytes one resident token costs (all layers, K and V).
+    bytes_per_token: u64,
+}
+
+impl KvSizer {
+    /// Builds a sizer, validating the layout/compression against the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when `kv_heads` is zero, does
+    /// not divide the model's head count, or exceeds it; when `window` is
+    /// zero; or when `keep_ratio` is not in `(0, 1]`.
+    pub fn new(
+        config: &TransformerConfig,
+        layout: KvLayout,
+        compression: KvCompression,
+    ) -> Result<Self, ModelError> {
+        let bytes_per_token = match layout {
+            KvLayout::Dense | KvLayout::SlidingWindow { .. } => {
+                if let KvLayout::SlidingWindow { window, .. } = layout {
+                    if window == 0 {
+                        return Err(ModelError::InvalidConfig {
+                            param: "window",
+                            reason: "sliding window must keep at least one trailing token".into(),
+                        });
+                    }
+                }
+                2 * config.d_model as u64 * config.layers as u64
+            }
+            KvLayout::GroupedHeads { kv_heads } => {
+                if kv_heads == 0 {
+                    return Err(ModelError::InvalidConfig {
+                        param: "kv_heads",
+                        reason: "zero".into(),
+                    });
+                }
+                if kv_heads > config.heads || !config.heads.is_multiple_of(kv_heads) {
+                    return Err(ModelError::InvalidConfig {
+                        param: "kv_heads",
+                        reason: format!(
+                            "{kv_heads} must divide the model's {} heads",
+                            config.heads
+                        ),
+                    });
+                }
+                2 * (config.head_dim() * kv_heads) as u64 * config.layers as u64
+            }
+        };
+        if let KvCompression::VedaVote { keep_ratio } = compression {
+            if !keep_ratio.is_finite() || keep_ratio <= 0.0 || keep_ratio > 1.0 {
+                return Err(ModelError::InvalidConfig {
+                    param: "keep_ratio",
+                    reason: format!("must be in (0, 1], got {keep_ratio}"),
+                });
+            }
+        }
+        Ok(Self { layout, compression, bytes_per_token })
+    }
+
+    /// The dense, uncompressed sizer — bit-exact with
+    /// [`kv_cache_total_bytes`].
+    pub fn dense(config: &TransformerConfig) -> Self {
+        Self::new(config, KvLayout::Dense, KvCompression::None)
+            .expect("dense layout is always valid")
+    }
+
+    /// The layout this sizer accounts for.
+    pub fn layout(&self) -> KvLayout {
+        self.layout
+    }
+
+    /// The compression model this sizer accounts for.
+    pub fn compression(&self) -> KvCompression {
+        self.compression
+    }
+
+    /// Whole-model bytes one resident token costs.
+    pub fn bytes_per_token(&self) -> u64 {
+        self.bytes_per_token
+    }
+
+    /// Whether this sizer is the dense identity (no layout sharing, no
+    /// compression) and therefore bit-exact with the pre-seam accounting.
+    pub fn is_dense(&self) -> bool {
+        self.layout == KvLayout::Dense && self.compression == KvCompression::None
+    }
+
+    /// Token positions structurally resident under the layout alone (before
+    /// compression) at context length `context_len`.
+    fn structural_tokens(&self, context_len: usize) -> usize {
+        match self.layout {
+            KvLayout::Dense | KvLayout::GroupedHeads { .. } => context_len,
+            KvLayout::SlidingWindow { window, sinks } => context_len.min(window + sinks),
+        }
+    }
+
+    /// Token slots resident at context length `context_len` after layout
+    /// and compression. Monotone nondecreasing in `context_len`.
+    pub fn tokens_kept(&self, context_len: usize) -> usize {
+        let structural = self.structural_tokens(context_len);
+        match self.compression {
+            KvCompression::None => structural,
+            KvCompression::VedaVote { keep_ratio } => {
+                if structural == 0 {
+                    0
+                } else {
+                    // ceil(keep_ratio·t), at least one token, never more
+                    // than the structurally resident set.
+                    ((keep_ratio * structural as f64).ceil() as usize).clamp(1, structural)
+                }
+            }
+        }
+    }
+
+    /// KV-cache bytes a context of `context_len` tokens occupies.
+    pub fn bytes(&self, context_len: usize) -> u64 {
+        self.tokens_kept(context_len) as u64 * self.bytes_per_token
+    }
+
+    /// Fraction of total attention-vote mass retained by the resident
+    /// tokens at context length `context_len`, in `[0, 1]`; the accuracy
+    /// proxy reported alongside latency. `1.0` for empty contexts and for
+    /// the dense identity.
+    pub fn retained_attention_mass(&self, context_len: usize) -> f64 {
+        if context_len == 0 || self.tokens_kept(context_len) == context_len {
+            return 1.0;
+        }
+        let total: f64 = (0..context_len).map(|j| token_vote(j, context_len)).sum();
+        // Structurally resident positions under the layout.
+        let mut resident: Vec<f64> = match self.layout {
+            KvLayout::Dense | KvLayout::GroupedHeads { .. } => {
+                (0..context_len).map(|j| token_vote(j, context_len)).collect()
+            }
+            KvLayout::SlidingWindow { window, sinks } => (0..context_len)
+                .filter(|&j| j < sinks || j + window >= context_len)
+                .map(|j| token_vote(j, context_len))
+                .collect(),
+        };
+        let kept = self.tokens_kept(context_len);
+        if kept < resident.len() {
+            // VEDA vote eviction: keep the highest-vote survivors. Votes are
+            // finite, so total_cmp gives a deterministic descending order.
+            resident.sort_by(|a, b| b.total_cmp(a));
+            resident.truncate(kept);
+        }
+        (resident.iter().sum::<f64>() / total).min(1.0)
+    }
 }
 
 /// One generation request in a multi-session serving trace: it arrives at

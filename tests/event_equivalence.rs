@@ -4,7 +4,9 @@
 //! migration oracle) on randomized traces across every serving mode —
 //! single chip, sharded cluster (all placements, with and without
 //! migration), and prefill/decode disaggregation — and across KV
-//! policies, budgets, SLO admission, and speculative decoding.
+//! policies, budgets, SLO admission, speculative decoding, and the KV
+//! layout/compression seam (grouped heads, sliding windows, VEDA token
+//! eviction).
 //!
 //! The cores share one iteration structure (one heap drain = one tick
 //! scan) and one report epilogue; the event core only skips work the tick
@@ -23,6 +25,7 @@ use meadow::core::spec::ServeSpec;
 use meadow::core::{EngineConfig, MeadowEngine};
 use meadow::models::presets;
 use meadow::models::workload::ArrivalTrace;
+use meadow::models::{KvCompression, KvLayout};
 use proptest::prelude::*;
 
 fn engine() -> MeadowEngine {
@@ -42,6 +45,25 @@ fn policy_from(idx: u8) -> KvPolicy {
         0 => KvPolicy::Fifo,
         1 => KvPolicy::Lru,
         _ => KvPolicy::PagedLru,
+    }
+}
+
+/// KV layout/compression points for the equivalence matrices: dense (the
+/// oracle identity), both sharing layouts, token eviction, and a combined
+/// point. Budgets below are sized off *dense* peaks, so non-dense points
+/// run with relatively more headroom — the agreement contract is
+/// budget-independent either way.
+fn kv_from(idx: u8) -> (KvLayout, KvCompression) {
+    match idx % 6 {
+        0 => (KvLayout::Dense, KvCompression::None),
+        1 => (KvLayout::GroupedHeads { kv_heads: 2 }, KvCompression::None),
+        2 => (KvLayout::SlidingWindow { window: 8, sinks: 2 }, KvCompression::None),
+        3 => (KvLayout::Dense, KvCompression::VedaVote { keep_ratio: 0.5 }),
+        4 => (KvLayout::GroupedHeads { kv_heads: 1 }, KvCompression::VedaVote { keep_ratio: 0.75 }),
+        _ => (
+            KvLayout::SlidingWindow { window: 16, sinks: 4 },
+            KvCompression::VedaVote { keep_ratio: 0.9 },
+        ),
     }
 }
 
@@ -67,14 +89,18 @@ proptest! {
         policy_idx in 0u8..3,
         budget_mult in 1u64..6,
         admission_idx in 0u8..3,
+        kv_idx in 0u8..6,
     ) {
         let engine = engine();
         let trace = requests_from_seed(seed, n, 24, 8, 0.5);
+        let (kv_layout, kv_compression) = kv_from(kv_idx);
         let config = ServeConfig::default()
             .with_budget(budget_for(&trace, budget_mult))
             .with_policy(policy_from(policy_idx))
             .with_max_batch(4)
-            .with_admission(admission_from(admission_idx));
+            .with_admission(admission_from(admission_idx))
+            .with_kv_layout(kv_layout)
+            .with_kv_compression(kv_compression);
         let run = |core| {
             ServeSpec::builder()
                 .config(config)
@@ -129,13 +155,17 @@ proptest! {
         placement_idx in 0u8..3,
         migrate in any::<bool>(),
         policy_idx in 0u8..3,
+        kv_idx in 0u8..6,
     ) {
         let engine = engine();
         let trace = requests_from_seed(seed, n, 24, 8, 0.5);
+        let (kv_layout, kv_compression) = kv_from(kv_idx);
         let config = ServeConfig::default()
             .with_budget(budget_for(&trace, 2))
             .with_policy(policy_from(policy_idx))
-            .with_max_batch(4);
+            .with_max_batch(4)
+            .with_kv_layout(kv_layout)
+            .with_kv_compression(kv_compression);
         let run = |core| {
             let mut builder = ServeSpec::builder().chips(chips).config(config);
             builder = match placement_idx % 3 {
@@ -166,13 +196,17 @@ proptest! {
         n in 1usize..16,
         prefill_chips in 1usize..4,
         colocated in any::<bool>(),
+        kv_idx in 0u8..6,
     ) {
         let engine = engine();
         let trace = requests_from_seed(seed, n, 24, 8, 0.5);
+        let (kv_layout, kv_compression) = kv_from(kv_idx);
         let config = ServeConfig::default()
             .with_budget(budget_for(&trace, 2))
             .with_policy(KvPolicy::Lru)
-            .with_max_batch(4);
+            .with_max_batch(4)
+            .with_kv_layout(kv_layout)
+            .with_kv_compression(kv_compression);
         let run = |core| {
             let builder = ServeSpec::builder().chips(4).config(config);
             let builder = if colocated {

@@ -9,6 +9,7 @@ use common::requests_from_seed;
 use meadow::core::serve::{serve, AdmissionPolicy, KvPolicy, ServeConfig};
 use meadow::core::{EngineConfig, MeadowEngine};
 use meadow::models::presets;
+use meadow::models::{KvCompression, KvLayout};
 use meadow::packing::chunk::{decompose, decompose_with, ChunkConfig};
 use meadow::packing::stats::{IdHistogram, PrecisionDistribution};
 use meadow::packing::{PackedWeights, PackingConfig, PackingLevel};
@@ -127,7 +128,8 @@ proptest! {
     /// worker pool; the resulting `ServeReport` (including its serialized
     /// bytes, which the golden test pins) must be bit-identical across
     /// thread counts — for whole-cache and paged eviction, queueing and
-    /// load-shedding admission alike.
+    /// load-shedding admission alike, under every KV layout/compression
+    /// point of the seam.
     #[test]
     fn serve_report_is_bit_identical_across_threads(
         seed in 0u64..500,
@@ -135,18 +137,27 @@ proptest! {
         constrained in any::<bool>(),
         policy_idx in 0u8..3,
         shed in any::<bool>(),
+        kv_idx in 0u8..4,
     ) {
         let model = presets::tiny_decoder();
         // Arrivals staggered at tick scale (tens of µs on the tiny model)
         // so the batched path is genuinely exercised.
         let trace = requests_from_seed(seed, n, 20, 6, 0.01);
+        let (kv_layout, kv_compression) = match kv_idx % 4 {
+            0 => (KvLayout::Dense, KvCompression::None),
+            1 => (KvLayout::GroupedHeads { kv_heads: 2 }, KvCompression::None),
+            2 => (KvLayout::SlidingWindow { window: 8, sinks: 2 }, KvCompression::None),
+            _ => (KvLayout::Dense, KvCompression::VedaVote { keep_ratio: 0.5 }),
+        };
         let mut config = ServeConfig::default()
             .with_policy(match policy_idx % 3 {
                 0 => KvPolicy::Fifo,
                 1 => KvPolicy::Lru,
                 _ => KvPolicy::PagedLru,
             })
-            .with_page_bytes(256);
+            .with_page_bytes(256)
+            .with_kv_layout(kv_layout)
+            .with_kv_compression(kv_compression);
         if shed {
             config = config.with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 0.2 });
         }

@@ -16,6 +16,7 @@ use meadow::core::serve::{serve, AdmissionPolicy, KvPolicy, ServeConfig};
 use meadow::core::{EngineConfig, MeadowEngine};
 use meadow::models::presets;
 use meadow::models::workload::{ArrivalTrace, ServeRequest};
+use meadow::models::{KvCompression, KvLayout};
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -73,6 +74,34 @@ fn golden_paged_report() -> String {
     report.to_json().unwrap() + "\n"
 }
 
+/// The compression scenario: the same trace under a grouped-heads layout
+/// *and* VEDA token eviction, with whole-cache LRU and SLO-aware
+/// admission — the `kv` summary block (layout, compression, retained
+/// attention mass, dense-vs-actual bytes) and the compressed per-trace
+/// byte accounting all land in the snapshot.
+fn golden_kvcomp_report() -> String {
+    let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
+    let model = presets::tiny_decoder();
+    // Compressed sessions are roughly a quarter the dense size (half the
+    // KV heads, half the tokens kept), so half a dense peak cache holds
+    // about two of them: eviction and reload still churn at the
+    // compressed scale.
+    let budget = ServeRequest::new(0, 0.0, 31, 2).peak_kv_bytes(&model) / 2;
+    let config = ServeConfig::default()
+        .with_budget(budget)
+        .with_policy(KvPolicy::Lru)
+        .with_max_batch(4)
+        .with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 0.4 })
+        .with_kv_layout(KvLayout::GroupedHeads { kv_heads: 2 })
+        .with_kv_compression(KvCompression::VedaVote { keep_ratio: 0.5 });
+    let report = serve(&engine, &golden_trace(), &config).unwrap();
+    assert!(report.total_evictions > 0, "the compressed scenario must exercise eviction");
+    let kv = report.kv.expect("a non-dense run attaches its KV summary");
+    assert!(kv.final_kv_bytes < kv.dense_final_kv_bytes, "compression must shrink the snapshot");
+    assert!(kv.retained_attention_mass < 1.0);
+    report.to_json().unwrap() + "\n"
+}
+
 fn assert_byte_stable(name: &str, got: String) {
     let path = golden_path(name);
     if std::env::var_os("MEADOW_UPDATE_GOLDEN").is_some() {
@@ -97,4 +126,9 @@ fn serve_report_is_byte_stable() {
 #[test]
 fn paged_serve_report_is_byte_stable() {
     assert_byte_stable("serve_paged_zcu102.json", golden_paged_report());
+}
+
+#[test]
+fn kvcomp_serve_report_is_byte_stable() {
+    assert_byte_stable("serve_kvcomp_zcu102.json", golden_kvcomp_report());
 }

@@ -216,6 +216,55 @@ fn constrained_budget_completes_with_evictions() {
     }
 }
 
+/// Cross-case the matrix never pinned deterministically: `PagedLru`
+/// eviction *and* `RejectAfter` shedding firing on the same run. Page
+/// spills must not wedge admission into rejecting everything, rejection
+/// must not leak zombie pages into the budget accounting, and the
+/// served/shed partition must still conserve tokens.
+#[test]
+fn paged_lru_with_slo_rejection_evicts_and_partitions() {
+    let model = presets::tiny_decoder();
+    let trace = ArrivalTrace::new(vec![
+        ServeRequest::new(0, 0.0, 16, 8),
+        ServeRequest::new(1, 0.0, 24, 4),
+        ServeRequest::new(2, 0.01, 8, 6),
+        ServeRequest::new(3, 0.015, 31, 2),
+        ServeRequest::new(4, 0.02, 4, 8),
+        ServeRequest::new(5, 0.03, 12, 5),
+        ServeRequest::new(6, 0.05, 20, 3),
+        ServeRequest::new(7, 0.08, 6, 7),
+    ]);
+    // 1.5 peak sessions of room and a sub-millisecond SLO: evictions,
+    // page spills and rejections all fire on this trace.
+    let budget = 3 * ServeRequest::new(0, 0.0, 31, 2).peak_kv_bytes(&model) / 2;
+    let config = ServeConfig::default()
+        .with_budget(budget)
+        .with_policy(KvPolicy::PagedLru)
+        .with_page_bytes(256)
+        .with_max_batch(4)
+        .with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 0.4 });
+    let report = serve(&engine(), &trace, &config).unwrap();
+    assert!(report.total_evictions > 0, "the cross-case must evict");
+    assert!(report.total_page_spills > 0, "the cross-case must peel pages");
+    assert!(report.rejected_requests > 0, "the cross-case must shed load");
+    assert!(
+        (report.rejected_requests as usize) < trace.requests.len(),
+        "the cross-case must also serve"
+    );
+    assert!(report.peak_kv_bytes <= budget);
+    let mut expected = 0u64;
+    for (req, t) in trace.requests.iter().zip(&report.traces) {
+        if t.rejected {
+            assert_eq!(t.generated_tokens, 0);
+            assert_eq!(t.final_kv_bytes, 0);
+        } else {
+            assert_eq!(t.generated_tokens, req.generate_tokens);
+            expected += req.generate_tokens as u64;
+        }
+    }
+    assert_eq!(report.total_generated_tokens, expected);
+}
+
 /// Acceptance criterion: with an unbounded budget, every request's prefill
 /// and per-token service latencies are bit-identical to an independent
 /// `InferenceSession` walking the same request on the same engine.

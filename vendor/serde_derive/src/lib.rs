@@ -15,11 +15,14 @@ enum TypeKind {
     Enum(Vec<Variant>),
 }
 
-/// A named field plus the one field attribute this derive honors:
-/// `#[serde(default)]` (a missing field deserializes to `Default`).
+/// A named field plus the field attributes this derive honors:
+/// `#[serde(default)]` (a missing field deserializes to `Default`) and
+/// `#[serde(skip_serializing_if = "path")]` (the field is omitted from the
+/// serialized map when `path(&self.field)` is true).
 struct FieldDef {
     name: String,
     default: bool,
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -198,16 +201,47 @@ fn attr_is_serde_default(stream: TokenStream) -> bool {
     }
 }
 
+/// Extracts the `skip_serializing_if = "path"` value from a `serde(...)`
+/// attribute body, if present.
+fn attr_serde_skip_if(stream: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            for w in 0..inner.len() {
+                if let TokenTree::Ident(id) = &inner[w] {
+                    if id.to_string() == "skip_serializing_if" {
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(path))) =
+                            (inner.get(w + 1), inner.get(w + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                let raw = path.to_string();
+                                return Some(raw.trim_matches('"').to_owned());
+                            }
+                        }
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
 /// Parses `name: Type, ...` field lists, returning the field names plus
-/// whether each carries `#[serde(default)]`.
+/// whether each carries `#[serde(default)]` and/or
+/// `#[serde(skip_serializing_if = "...")]`.
 fn parse_named_fields(stream: TokenStream) -> Vec<FieldDef> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
         // Walk the attributes ourselves (instead of skip_attrs_and_vis) so
-        // `#[serde(default)]` is seen before it is skipped.
+        // `#[serde(...)]` is seen before it is skipped.
         let mut default = false;
+        let mut skip_if = None;
         loop {
             match tokens.get(i) {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
@@ -215,6 +249,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<FieldDef> {
                     if let Some(TokenTree::Group(g)) = tokens.get(i) {
                         if g.delimiter() == Delimiter::Bracket {
                             default |= attr_is_serde_default(g.stream());
+                            if skip_if.is_none() {
+                                skip_if = attr_serde_skip_if(g.stream());
+                            }
                             i += 1;
                         }
                     }
@@ -230,7 +267,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<FieldDef> {
             }
         }
         let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
-        fields.push(FieldDef { name: id.to_string(), default });
+        fields.push(FieldDef { name: id.to_string(), default, skip_if });
         i += 1;
         // Skip `: Type` up to the next top-level comma; commas nested inside
         // `<...>`, `(...)`, etc. are part of the type.
@@ -344,16 +381,34 @@ fn gen_serialize(def: &TypeDef) -> String {
             format!("::serde::Value::Seq(vec![{}])", items.join(", "))
         }
         TypeKind::NamedStruct(fields) => {
-            let items: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    let f = &f.name;
-                    format!(
-                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
-                    )
-                })
-                .collect();
-            format!("::serde::Value::Map(vec![{}])", items.join(", "))
+            if fields.iter().any(|f| f.skip_if.is_some()) {
+                let mut stmts = vec![format!(
+                    "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::with_capacity({});",
+                    fields.len()
+                )];
+                for f in fields {
+                    let name = &f.name;
+                    let push = format!(
+                        "__m.push((::std::string::String::from({name:?}), ::serde::Serialize::to_value(&self.{name})));"
+                    );
+                    match &f.skip_if {
+                        Some(path) => stmts.push(format!("if !{path}(&self.{name}) {{ {push} }}")),
+                        None => stmts.push(push),
+                    }
+                }
+                format!("{{ {} ::serde::Value::Map(__m) }}", stmts.join(" "))
+            } else {
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let f = &f.name;
+                        format!(
+                            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(vec![{}])", items.join(", "))
+            }
         }
         TypeKind::Enum(variants) => {
             let ty = &def.name;
