@@ -4,8 +4,9 @@
 //! exploration; this module is the *regression* surface. It times the
 //! workspace's hot paths — tiled INT8 GEMM, packing chunk decomposition,
 //! the functional batch forward, the continuous-batching serving
-//! simulator (whole-cache and paged eviction), the multi-chip cluster
-//! serve and the disaggregated two-stage serve — serial vs parallel,
+//! simulator (whole-cache and paged eviction), the multi-model
+//! weight-churn serve, the multi-chip cluster serve and the disaggregated
+//! two-stage serve — serial vs parallel,
 //! with warmup and a fixed number of trials, and reports
 //! median/p95/min/mean per variant as a
 //! schema-versioned [`BenchReport`] that serializes to `BENCH_<id>.json`.
@@ -309,6 +310,35 @@ fn serve_kvcomp_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     named_case(format!("serve_kvcomp_{requests}x{generate}"), serial, parallel)
 }
 
+fn serve_multimodel_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (requests, generate) = if opts.quick { (4, 6) } else { (8, 12) };
+    let model = presets::tiny_decoder();
+    // Two models alternating request-for-request under a one-model weight
+    // budget with streaming on: every scheduler step walks the residency
+    // state machine (LRU pick, per-layer stream, overlap fold), which is
+    // the overhead this case guards on top of `serve_continuous_batch`.
+    let mut trace = ArrivalTrace::uniform(requests, 0.01, 16, generate);
+    for r in &mut trace.requests {
+        *r = r.with_model(r.id % 2);
+    }
+    let config = ServeConfig::default()
+        .with_weight_budget(model.total_weight_bytes())
+        .with_weight_streaming(true)
+        .with_max_batch(2);
+    let spec = ServeSpec::builder().config(config).build().expect("valid spec");
+    let serial_engine =
+        MeadowEngine::new(EngineConfig::zcu102(model.clone(), 12.0)).expect("valid engine");
+    let parallel_engine = MeadowEngine::new(EngineConfig::zcu102(model, 12.0).with_exec(*exec))
+        .expect("valid engine");
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(spec.run(&serial_engine, &trace).expect("serve succeeds"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(spec.run(&parallel_engine, &trace).expect("serve succeeds"));
+    });
+    named_case(format!("serve_multimodel_{requests}x{generate}"), serial, parallel)
+}
+
 fn serve_cluster_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     let (requests, generate) = if opts.quick { (6, 5) } else { (12, 8) };
     let model = presets::tiny_decoder();
@@ -454,6 +484,7 @@ pub fn run_suite(bench_id: &str, opts: &PerfOptions) -> BenchReport {
         serve_case(opts, &exec),
         serve_paged_case(opts, &exec),
         serve_kvcomp_case(opts, &exec),
+        serve_multimodel_case(opts, &exec),
         serve_cluster_case(opts, &exec),
         serve_disagg_case(opts, &exec),
         serve_1m_case(opts, &exec),
@@ -607,7 +638,7 @@ mod tests {
     fn suite_emits_versioned_round_trippable_json() {
         let report = run_suite("test", &quick_opts());
         assert_eq!(report.schema_version, SCHEMA_VERSION);
-        assert_eq!(report.cases.len(), 9);
+        assert_eq!(report.cases.len(), 10);
         assert!(report.cases.iter().all(|c| c.speedup > 0.0));
         assert_eq!(report.file_name(), "BENCH_test.json");
         let json = report.to_json().unwrap();
@@ -627,7 +658,7 @@ mod tests {
         assert_eq!(tree.get("threads").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(tree.get("quick").and_then(|v| v.as_bool()), Some(true));
         let cases = tree.get("cases").and_then(|v| v.as_seq()).unwrap();
-        assert_eq!(cases.len(), 9);
+        assert_eq!(cases.len(), 10);
         for case in cases {
             assert!(case.get("name").and_then(|v| v.as_str()).is_some());
             for variant in ["serial", "parallel"] {

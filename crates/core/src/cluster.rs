@@ -78,7 +78,7 @@
 use crate::error::CoreError;
 use crate::serve::{
     kv_sizer, serve_on_chip, KvSummary, LatencySummary, SchedulerCore, ServeConfig, ServeError,
-    ServeReport, ServeTrace,
+    ServeReport, ServeTrace, WeightSummary,
 };
 use crate::session::SessionPhase;
 use crate::MeadowEngine;
@@ -677,7 +677,10 @@ impl ClusterConfigBuilder {
 }
 
 /// One simulated chip of the cluster: a replica engine. The chip's KV page
-/// pool and DRAM ledger are materialized per serving run (the simulator is
+/// pool, DRAM ledger and weight-residency state machine
+/// ([`WeightResidency`](crate::serve::WeightResidency): every served
+/// model's weights walk `Evicted → Streaming → Resident` under the chip's
+/// weight budget) are materialized per serving run (the simulator is
 /// stateless between runs) and reported in its [`ServeReport`].
 #[derive(Debug, Clone)]
 pub struct ChipNode {
@@ -774,6 +777,15 @@ pub struct ClusterReport {
     /// (pre-seam cluster reports stay byte-stable).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub kv: Option<KvSummary>,
+    /// Weight-residency accounting aggregated across the chips — `Some`
+    /// only when the run set a weight budget, and omitted from the
+    /// serialized JSON otherwise (pre-residency cluster reports stay
+    /// byte-stable). Churn counters and weight bytes are summed; the cold
+    /// and warm TTFT percentiles are recomputed over the union of every
+    /// chip's sessions, so they match what the per-chip summaries would
+    /// yield on the concatenated traces.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub weights: Option<WeightSummary>,
     /// Per-chip reports, in chip order.
     pub per_chip: Vec<ChipReport>,
 }
@@ -1119,6 +1131,13 @@ impl Cluster {
         // final context tokens, so the cluster mean matches what one chip
         // serving the whole trace would report).
         let mut kv_acc: Option<KvSummary> = None;
+        // Weight-residency runs: sum the additive churn counters and
+        // regather the cold/warm TTFT samples from the per-chip traces so
+        // the cluster percentiles are over the union of sessions, not a
+        // mean of per-chip percentiles.
+        let mut weights_acc: Option<WeightSummary> = None;
+        let mut cold_ttft: Vec<f64> = Vec::new();
+        let mut warm_ttft: Vec<f64> = Vec::new();
         for (chip, result) in results.into_iter().enumerate() {
             let (report, migration) = result?;
             if let Some(chip_kv) = report.kv {
@@ -1132,6 +1151,27 @@ impl Cluster {
                     chip_kv.retained_attention_mass * chip_kv.dense_final_kv_bytes as f64;
                 acc.dense_final_kv_bytes += chip_kv.dense_final_kv_bytes;
                 acc.final_kv_bytes += chip_kv.final_kv_bytes;
+            }
+            if let Some(chip_weights) = report.weights {
+                let acc = weights_acc.get_or_insert(WeightSummary {
+                    models: 0,
+                    weight_bytes: 0,
+                    weight_loads: 0,
+                    weight_evictions: 0,
+                    cold_requests: 0,
+                    ..chip_weights
+                });
+                acc.weight_bytes += chip_weights.weight_bytes;
+                acc.weight_loads += chip_weights.weight_loads;
+                acc.weight_evictions += chip_weights.weight_evictions;
+                acc.cold_requests += chip_weights.cold_requests;
+                for t in report.traces.iter().filter(|t| !t.rejected) {
+                    if t.cold_start == Some(true) {
+                        cold_ttft.push(t.ttft_ms());
+                    } else {
+                        warm_ttft.push(t.ttft_ms());
+                    }
+                }
             }
             latencies.extend(
                 report.traces.iter().filter(|t| !t.rejected).map(ServeTrace::total_latency_ms),
@@ -1163,6 +1203,16 @@ impl Cluster {
             };
             acc
         });
+        let weights = weights_acc.map(|mut acc| {
+            let mut models: Vec<u32> =
+                shards.iter().flat_map(|s| s.requests.iter().map(ServeRequest::model)).collect();
+            models.sort_unstable();
+            models.dedup();
+            acc.models = models.len();
+            acc.cold_ttft = LatencySummary::from_samples(cold_ttft);
+            acc.warm_ttft = LatencySummary::from_samples(warm_ttft);
+            acc
+        });
         let latency = LatencySummary::from_samples(latencies);
         let max_demand = loads.iter().map(|l| l.assigned_peak_kv_bytes).max().unwrap_or(0) as f64;
         let mean_demand =
@@ -1192,6 +1242,7 @@ impl Cluster {
             noc_link_cycles: stats_total.noc_link_cycles,
             dram_kv_bytes: spilled,
             kv,
+            weights,
             per_chip,
         })
     }

@@ -80,10 +80,10 @@ use meadow_dataflow::pipeline::flow_shop_completion_times;
 use meadow_dataflow::LayerLatency;
 use meadow_models::workload::{kv_cache_total_bytes, ArrivalTrace, KvSizer, ServeRequest};
 use meadow_models::{KvCompression, KvLayout, TransformerConfig};
-use meadow_sim::{Cycles, DramModel, TrafficLedger};
+use meadow_sim::{Cycles, DramModel, TrafficClass, TrafficLedger};
 use meadow_tensor::parallel::par_map;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 /// Typed rejection of an invalid serving or cluster configuration.
@@ -152,6 +152,27 @@ pub enum ServeError {
         /// Why the layout was rejected.
         reason: String,
     },
+    /// `weight_budget_bytes == Some(0)`: a zero weight budget could never
+    /// hold any model's weights, so no request could ever step. Leave the
+    /// budget `None` to keep weight-residency modeling off instead.
+    ZeroWeightBudget,
+    /// A weight budget smaller than one model's weights: even an empty
+    /// chip could never finish streaming a model in, so no request could
+    /// ever run.
+    WeightBudgetTooSmall {
+        /// The configured weight budget.
+        budget_bytes: u64,
+        /// One model's total weight bytes on this engine.
+        weight_bytes: u64,
+    },
+    /// A request targets a model other than the default model 0 while
+    /// weight-residency modeling is off (no weight budget): without a
+    /// budget the chip permanently holds exactly one resident model, so
+    /// other model ids are unservable.
+    UnknownModel {
+        /// The model id the request asked for.
+        model_id: u32,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -186,6 +207,19 @@ impl fmt::Display for ServeError {
             ServeError::InvalidKvLayout { reason } => {
                 write!(f, "invalid KV layout: {reason}")
             }
+            ServeError::ZeroWeightBudget => {
+                write!(f, "a zero weight budget cannot hold any model; leave it unset instead")
+            }
+            ServeError::WeightBudgetTooSmall { budget_bytes, weight_bytes } => write!(
+                f,
+                "weight budget {budget_bytes} cannot hold a single model's {weight_bytes} \
+                 weight bytes"
+            ),
+            ServeError::UnknownModel { model_id } => write!(
+                f,
+                "request targets model {model_id} but the chip serves only the resident model 0; \
+                 set a weight budget to enable multi-model tenancy"
+            ),
         }
     }
 }
@@ -344,6 +378,25 @@ pub struct ServeConfig {
     /// pre-compression serialized configs, so old JSON still deserializes.
     #[serde(default)]
     pub kv_compression: KvCompression,
+    /// Per-chip model-weight budget in bytes — the single switch for
+    /// weight-residency modeling. `None` (the default) keeps every model
+    /// permanently resident for free, bit-identical to the pre-residency
+    /// scheduler; `Some(b)` starts the chip cold (no weights on chip), and
+    /// every model load streams through the DRAM channel under
+    /// [`TrafficClass::Weights`](meadow_sim::TrafficClass), with LRU model
+    /// eviction when a new model's weights must fit. Missing from
+    /// pre-residency serialized configs, so old JSON still deserializes.
+    #[serde(default)]
+    pub weight_budget_bytes: Option<u64>,
+    /// Cold-load cost model when weight-residency modeling is on: `false`
+    /// (the default) stalls the cold step for the full sequential weight
+    /// load; `true` overlaps each layer's compute with the next layer's
+    /// load (EdgeFlow-style per-layer streaming), so the cold step pays
+    /// `max(load pipeline, compute pipeline)` instead of their sum. The
+    /// ledger bytes are identical either way — only the stall differs.
+    /// Ignored (and harmless) without a weight budget.
+    #[serde(default)]
+    pub weight_streaming: bool,
 }
 
 impl Default for ServeConfig {
@@ -357,6 +410,8 @@ impl Default for ServeConfig {
             speculation: None,
             kv_layout: KvLayout::Dense,
             kv_compression: KvCompression::None,
+            weight_budget_bytes: None,
+            weight_streaming: false,
         }
     }
 }
@@ -412,6 +467,20 @@ impl ServeConfig {
         Self { kv_compression, ..self }
     }
 
+    /// The same configuration with a finite per-chip model-weight budget,
+    /// turning on weight-residency modeling (cold starts, streamed loads,
+    /// LRU model eviction).
+    pub fn with_weight_budget(self, weight_budget_bytes: u64) -> Self {
+        Self { weight_budget_bytes: Some(weight_budget_bytes), ..self }
+    }
+
+    /// The same configuration with per-layer streamed (overlapped) cold
+    /// weight loads instead of a sequential load stall. Only meaningful
+    /// together with [`ServeConfig::with_weight_budget`].
+    pub fn with_weight_streaming(self, weight_streaming: bool) -> Self {
+        Self { weight_streaming, ..self }
+    }
+
     /// Construction-time validation: rejects a zero `max_batch`, a zero
     /// `page_bytes` under [`KvPolicy::PagedLru`], and a non-finite or
     /// negative [`AdmissionPolicy::RejectAfter`] SLO with a typed
@@ -457,6 +526,9 @@ impl ServeConfig {
                     reason: format!("VedaVote keep_ratio must be in (0, 1], got {keep_ratio}"),
                 });
             }
+        }
+        if self.weight_budget_bytes == Some(0) {
+            return Err(ServeError::ZeroWeightBudget);
         }
         Ok(())
     }
@@ -531,6 +603,19 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets a finite per-chip model-weight budget (weight-residency
+    /// modeling on).
+    pub fn weight_budget_bytes(mut self, bytes: u64) -> Self {
+        self.config.weight_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Selects streamed (per-layer overlapped) cold weight loads.
+    pub fn weight_streaming(mut self, weight_streaming: bool) -> Self {
+        self.config.weight_streaming = weight_streaming;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -587,6 +672,12 @@ pub struct ServeTrace {
     pub evictions: u32,
     /// KV-cache bytes at the end of generation (zero when rejected).
     pub final_kv_bytes: u64,
+    /// Whether this request's prefill paid a cold-start weight load (its
+    /// model was not resident when the prefill stepped). `Some` only when
+    /// weight-residency modeling is on, and omitted from the serialized
+    /// JSON otherwise, so pre-residency reports stay byte-stable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cold_start: Option<bool>,
 }
 
 impl ServeTrace {
@@ -622,6 +713,37 @@ pub struct KvSummary {
     pub dense_final_kv_bytes: u64,
     /// Final KV bytes they actually occupied under this layout/compression.
     pub final_kv_bytes: u64,
+}
+
+/// Weight-residency accounting of one serving run, attached to
+/// [`ServeReport::weights`] (and aggregated into `ClusterReport::weights`)
+/// whenever the run declared a weight budget. Absent — and absent from the
+/// serialized JSON — otherwise, so every pre-residency report stays
+/// byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightSummary {
+    /// The per-chip weight budget the run enforced.
+    pub weight_budget_bytes: u64,
+    /// Whether cold loads streamed per layer (overlapped with compute).
+    pub streaming: bool,
+    /// Distinct models the trace requested.
+    pub models: usize,
+    /// One model's total weight bytes on this engine.
+    pub model_weight_bytes: u64,
+    /// Total weight bytes streamed on chip
+    /// ([`TrafficClass::Weights`](meadow_sim::TrafficClass)) — exactly
+    /// `weight_loads × model_weight_bytes`.
+    pub weight_bytes: u64,
+    /// Model load events: cold starts plus re-streams after eviction.
+    pub weight_loads: u64,
+    /// Residency churn: models evicted to make room for another's weights.
+    pub weight_evictions: u64,
+    /// Completed requests whose prefill paid a cold-start weight load.
+    pub cold_requests: u64,
+    /// TTFT percentiles over completed cold-start requests.
+    pub cold_ttft: LatencySummary,
+    /// TTFT percentiles over completed warm requests.
+    pub warm_ttft: LatencySummary,
 }
 
 /// Aggregate result of one serving run.
@@ -680,6 +802,11 @@ pub struct ServeReport {
     /// serialized JSON otherwise (pre-seam reports stay byte-stable).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub kv: Option<KvSummary>,
+    /// Weight-residency accounting — `Some` only when the run declared a
+    /// weight budget, and omitted from the serialized JSON otherwise
+    /// (pre-residency reports stay byte-stable).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub weights: Option<WeightSummary>,
     /// Per-request traces, in the input trace's request order.
     pub traces: Vec<ServeTrace>,
 }
@@ -740,6 +867,10 @@ struct Session {
     first_token_ms: f64,
     finish_ms: f64,
     tbt_ms: Vec<f64>,
+    /// The prefill step paid a cold-start weight load (weight-residency
+    /// modeling only; later re-streams at decode count as churn, not
+    /// coldness).
+    cold_start: bool,
 }
 
 impl Session {
@@ -766,6 +897,7 @@ impl Session {
             first_token_ms: 0.0,
             finish_ms: 0.0,
             tbt_ms: Vec::new(),
+            cold_start: false,
         }
     }
 
@@ -883,6 +1015,200 @@ fn charge_reload(
     cycles
 }
 
+/// Residency state of one model's weights on a chip (`ChipNode`'s weight
+/// state machine, materialized per run by the serving loop exactly like
+/// the per-run KV state):
+///
+/// ```text
+///            load layer 0..L             last layer lands
+/// Evicted ───────────────────▶ Streaming { layers_loaded } ───▶ Resident
+///    ▲                                                             │
+///    └──────────────── LRU eviction (free: read-only) ◀────────────┘
+/// ```
+///
+/// Every model starts `Evicted` (a cold chip holds no weights); a load
+/// walks `Streaming { layers_loaded: 0..layers }` while each layer's bytes
+/// stream in over DRAM, and eviction writes nothing back — weights are
+/// read-only, so dropping them only costs the eventual re-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightResidency {
+    /// Every layer's weights are on chip.
+    Resident,
+    /// A load is in flight: layers `0..layers_loaded` have landed.
+    Streaming {
+        /// Layers already on chip.
+        layers_loaded: usize,
+    },
+    /// No weights on chip (the initial state, and the post-eviction one).
+    Evicted,
+}
+
+impl WeightResidency {
+    /// Whether the model's weights are usable (fully resident or currently
+    /// streaming in for the step that triggered the load).
+    fn holds_weights(self) -> bool {
+        !matches!(self, WeightResidency::Evicted)
+    }
+}
+
+/// Completion time of a cold start whose per-layer weight loads overlap
+/// the compute pipeline (EdgeFlow-style): layer `l`'s compute may begin
+/// once its weights have landed *and* layer `l-1` has finished, so
+///
+/// ```text
+/// finish[l] = max(finish[l-1], load[0] + … + load[l]) + compute[l]
+/// ```
+///
+/// and the cold step costs `max(load pipeline, compute pipeline)`-ish
+/// rather than their sum: the result is at least `Σ load` and at least
+/// `Σ compute`, and at most `Σ load + Σ compute`. Zero-latency loads make
+/// it exactly the warm compute time — the streamed-equals-resident
+/// degeneracy. Mismatched lengths treat the missing entries as zero.
+pub fn pipelined_cold_finish(load: &[Cycles], compute: &[Cycles]) -> Cycles {
+    let layers = load.len().max(compute.len());
+    let mut load_prefix = 0u64;
+    let mut finish = 0u64;
+    for l in 0..layers {
+        load_prefix += load.get(l).map_or(0, |c| c.get());
+        finish = finish.max(load_prefix) + compute.get(l).map_or(0, |c| c.get());
+    }
+    Cycles(finish)
+}
+
+/// Slot of one model in a chip's [`WeightSet`].
+#[derive(Debug, Clone, Copy)]
+struct ModelSlot {
+    residency: WeightResidency,
+    /// Monotone last-use sequence number (strict LRU victim order).
+    use_seq: u64,
+}
+
+/// Per-run weight-residency tracker: the budgeted set of models whose
+/// weights are on chip, with strict-LRU eviction and per-layer load
+/// charging through the chip's DRAM channel. Both scheduler cores drive
+/// the same tracker in step order, so the Event==Tick equivalence holds
+/// structurally.
+struct WeightSet {
+    budget_bytes: u64,
+    streaming: bool,
+    layers: usize,
+    layer_bytes: u64,
+    model_bytes: u64,
+    slots: BTreeMap<u32, ModelSlot>,
+    use_seq: u64,
+    resident_bytes: u64,
+    loads: u64,
+    evictions: u64,
+}
+
+impl WeightSet {
+    /// Builds the tracker for a run, or `None` when the config declares no
+    /// weight budget (modeling off: the chip's one model is permanently
+    /// resident for free).
+    fn for_run(config: &ServeConfig, model: &TransformerConfig) -> Option<Self> {
+        let budget_bytes = config.weight_budget_bytes?;
+        Some(Self {
+            budget_bytes,
+            streaming: config.weight_streaming,
+            layers: model.layers,
+            layer_bytes: model.layer_weight_bytes(),
+            model_bytes: model.total_weight_bytes(),
+            slots: BTreeMap::new(),
+            use_seq: 0,
+            resident_bytes: 0,
+            loads: 0,
+            evictions: 0,
+        })
+    }
+
+    /// Makes `model_id`'s weights resident for a step whose per-layer
+    /// compute row is `compute`, returning the stall the step must absorb
+    /// before its first layer and whether a load happened (a cold start
+    /// for the stepping session). A hit only refreshes the LRU sequence; a
+    /// miss evicts least-recently-used models until the new one fits, then
+    /// streams every layer through the DRAM channel — the stall is the
+    /// full sequential load, or the pipelined overhang over the warm
+    /// compute time when streaming is on.
+    fn ensure_resident(
+        &mut self,
+        dram: &mut DramModel,
+        model_id: u32,
+        compute: &[Cycles],
+    ) -> (Cycles, bool) {
+        self.use_seq += 1;
+        let seq = self.use_seq;
+        if let Some(slot) = self.slots.get_mut(&model_id) {
+            if slot.residency.holds_weights() {
+                slot.use_seq = seq;
+                return (Cycles::ZERO, false);
+            }
+        }
+        // LRU model eviction until the new weights fit. Free: weights are
+        // read-only, so nothing is written back — the cost is the churn
+        // counted here and the eventual re-stream.
+        while self.resident_bytes + self.model_bytes > self.budget_bytes {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(id, slot)| **id != model_id && slot.residency.holds_weights())
+                .min_by_key(|(id, slot)| (slot.use_seq, **id))
+                .map(|(id, _)| *id)
+                .expect("the budget precheck guarantees one model always fits");
+            self.slots.get_mut(&victim).expect("found above").residency = WeightResidency::Evicted;
+            self.resident_bytes -= self.model_bytes;
+            self.evictions += 1;
+        }
+        // Stream the layers in, charging each on the DRAM channel; the
+        // slot walks Streaming { layers_loaded } layer by layer.
+        let slot = self
+            .slots
+            .entry(model_id)
+            .or_insert(ModelSlot { residency: WeightResidency::Evicted, use_seq: seq });
+        slot.use_seq = seq;
+        let mut load = Vec::with_capacity(self.layers);
+        for layers_loaded in 0..self.layers {
+            slot.residency = WeightResidency::Streaming { layers_loaded };
+            load.push(dram.transfer_weights(self.layer_bytes));
+        }
+        slot.residency = WeightResidency::Resident;
+        self.resident_bytes += self.model_bytes;
+        self.loads += 1;
+        let stall = if self.streaming {
+            let warm: u64 = compute.iter().map(|c| c.get()).sum();
+            Cycles(pipelined_cold_finish(&load, compute).get() - warm)
+        } else {
+            Cycles(load.iter().map(|c| c.get()).sum())
+        };
+        (stall, true)
+    }
+}
+
+/// Run-start validation of the weight-residency configuration against the
+/// engine's model and the trace, shared by both scheduler cores: a budget
+/// must hold at least one model ([`ServeError::WeightBudgetTooSmall`]),
+/// and without a budget every request must target the default resident
+/// model 0 ([`ServeError::UnknownModel`]).
+fn validate_weights(
+    config: &ServeConfig,
+    model: &TransformerConfig,
+    trace: &ArrivalTrace,
+) -> Result<(), ServeError> {
+    match config.weight_budget_bytes {
+        Some(budget_bytes) => {
+            let weight_bytes = model.total_weight_bytes();
+            if budget_bytes < weight_bytes {
+                return Err(ServeError::WeightBudgetTooSmall { budget_bytes, weight_bytes });
+            }
+        }
+        None => {
+            if let Some(r) = trace.requests.iter().find(|r| r.model() != 0) {
+                return Err(ServeError::UnknownModel { model_id: r.model() });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs an arrival trace through the engine under a continuous-batching
 /// scheduler, returning the aggregate report. See the module docs for the
 /// scheduling and KV-accounting model.
@@ -976,6 +1302,8 @@ fn serve_on_chip_tick(
             }
         }
     }
+    validate_weights(config, model, trace)?;
+    let mut weights = WeightSet::for_run(config, model);
 
     let clock = engine.config().chip.clock;
     let exec = engine.config().exec;
@@ -1323,6 +1651,21 @@ fn serve_on_chip_tick(
             let report = report?;
             let mut row: Vec<Cycles> = report.layers.iter().map(LayerLatency::makespan).collect();
             let mut stall = reload;
+            // Weight residency: the stepping session's model must be on
+            // chip. A hit is free; a miss streams every layer through the
+            // DRAM channel (evicting LRU models as needed) and stalls the
+            // step — the full sequential load, or only the pipelined
+            // overhang beyond the compute row when streaming overlap is
+            // on. A load at a session's first prefill step is a cold
+            // start; later re-streams are residency churn.
+            if let Some(ws) = weights.as_mut() {
+                let (wstall, was_cold) =
+                    ws.ensure_resident(&mut kv_dram, sessions[i].req.model(), &row);
+                stall += wstall;
+                if was_cold && !sessions[i].prefilled {
+                    sessions[i].cold_start = true;
+                }
+            }
             // Speculative decoding: each decode step is one verify round.
             // Accepted rounds ride in the verify pass's memory-bound shadow
             // for free; the deterministic miss credit fires a flush every
@@ -1428,6 +1771,8 @@ fn serve_on_chip_tick(
         page_spills,
         page_faults,
         rejected,
+        weight_loads: weights.as_ref().map_or(0, |ws| ws.loads),
+        weight_evictions: weights.as_ref().map_or(0, |ws| ws.evictions),
     };
     Ok(finalize_report(config, model, &sizer, &sessions, ledger, totals))
 }
@@ -1442,6 +1787,8 @@ struct SchedTotals {
     page_spills: u64,
     page_faults: u64,
     rejected: u64,
+    weight_loads: u64,
+    weight_evictions: u64,
 }
 
 /// Folds final session state into the [`ServeReport`] — one shared path
@@ -1477,9 +1824,11 @@ fn finalize_report(
             } else {
                 sizer.bytes(s.req.prompt_tokens + s.generated)
             },
+            cold_start: config.weight_budget_bytes.is_some().then_some(s.cold_start),
         })
         .collect();
     let kv = kv_summary(model, sizer, sessions);
+    let weights = weight_summary(config, model, sessions, &ledger, &totals);
     let total_generated: u64 = traces.iter().map(|t| t.generated_tokens as u64).sum();
     let latency = LatencySummary::from_samples(
         traces.iter().filter(|t| !t.rejected).map(ServeTrace::total_latency_ms).collect(),
@@ -1510,8 +1859,50 @@ fn finalize_report(
         kv_frag_peak_bytes: totals.frag_peak,
         ledger,
         kv,
+        weights,
         traces,
     }
+}
+
+/// Builds the [`WeightSummary`] of a run, or `None` when no weight budget
+/// is set (the permanently-resident identity, whose reports must stay
+/// byte-stable with the pre-residency scheduler). Cold and warm TTFT are
+/// summarized separately over non-rejected sessions, split by whether the
+/// session's first prefill step had to stream its model's weights in.
+fn weight_summary(
+    config: &ServeConfig,
+    model: &TransformerConfig,
+    sessions: &[Session],
+    ledger: &TrafficLedger,
+    totals: &SchedTotals,
+) -> Option<WeightSummary> {
+    let weight_budget_bytes = config.weight_budget_bytes?;
+    let mut cold: Vec<f64> = Vec::new();
+    let mut warm: Vec<f64> = Vec::new();
+    for s in sessions.iter().filter(|s| !s.rejected) {
+        let ttft = s.first_token_ms - s.req.arrival_ms;
+        if s.cold_start {
+            cold.push(ttft);
+        } else {
+            warm.push(ttft);
+        }
+    }
+    let cold_requests = cold.len() as u64;
+    let mut models: Vec<u32> = sessions.iter().map(|s| s.req.model()).collect();
+    models.sort_unstable();
+    models.dedup();
+    Some(WeightSummary {
+        weight_budget_bytes,
+        streaming: config.weight_streaming,
+        models: models.len(),
+        model_weight_bytes: model.total_weight_bytes(),
+        weight_bytes: ledger.bytes(TrafficClass::Weights),
+        weight_loads: totals.weight_loads,
+        weight_evictions: totals.weight_evictions,
+        cold_requests,
+        cold_ttft: LatencySummary::from_samples(cold),
+        warm_ttft: LatencySummary::from_samples(warm),
+    })
 }
 
 /// Builds the [`KvSummary`] of a run, or `None` for the dense identity
@@ -1607,6 +1998,8 @@ fn serve_on_chip_event(
             }
         }
     }
+    validate_weights(config, model, trace)?;
+    let mut weights = WeightSet::for_run(config, model);
 
     let clock = engine.config().chip.clock;
     let exec = engine.config().exec;
@@ -2035,6 +2428,18 @@ fn serve_on_chip_event(
             };
             let mut row: Vec<Cycles> = report.layers.iter().map(LayerLatency::makespan).collect();
             let mut stall = reload_cycles[pos];
+            // Weight residency — identical state machine to the tick core
+            // (see the comment there); step order matches, so the LRU
+            // sequence, the eviction choices and the charged cycles agree
+            // bit-exactly.
+            if let Some(ws) = weights.as_mut() {
+                let (wstall, was_cold) =
+                    ws.ensure_resident(&mut kv_dram, sessions[i].req.model(), &row);
+                stall += wstall;
+                if was_cold && !sessions[i].prefilled {
+                    sessions[i].cold_start = true;
+                }
+            }
             // Deterministic speculation credit — identical arithmetic to
             // the tick core (see the comment there).
             if let Some(spec) = config.speculation {
@@ -2146,6 +2551,8 @@ fn serve_on_chip_event(
         page_spills,
         page_faults,
         rejected,
+        weight_loads: weights.as_ref().map_or(0, |ws| ws.loads),
+        weight_evictions: weights.as_ref().map_or(0, |ws| ws.evictions),
     };
     Ok(finalize_report(config, model, &sizer, &sessions, ledger, totals))
 }
@@ -2458,5 +2865,99 @@ mod tests {
         let flushed = serve(&e, &trace, &base.with_speculation(spec(0.1))).unwrap();
         let clean = serve(&e, &trace, &base).unwrap();
         assert!(flushed.makespan_ms > clean.makespan_ms, "misses must cost cycles");
+    }
+
+    #[test]
+    fn pipelined_cold_finish_bounds_and_degeneracies() {
+        let load = [Cycles(10), Cycles(10), Cycles(10)];
+        let compute = [Cycles(4), Cycles(4), Cycles(4)];
+        // Hand-walked: finishes at 14, 24, 34 — load-bound throughout.
+        assert_eq!(pipelined_cold_finish(&load, &compute), Cycles(34));
+        // Compute-bound: the first load hides everything after it.
+        let slow = [Cycles(100), Cycles(100), Cycles(100)];
+        assert_eq!(pipelined_cold_finish(&load, &slow), Cycles(310));
+        // Degeneracies: zero loads = pure compute, zero compute = pure load.
+        assert_eq!(pipelined_cold_finish(&[], &compute), Cycles(12));
+        assert_eq!(pipelined_cold_finish(&load, &[]), Cycles(30));
+    }
+
+    #[test]
+    fn cold_start_stalls_the_first_step_and_charges_weight_traffic() {
+        let e = engine();
+        let model = presets::tiny_decoder();
+        // Spaced far enough apart that request 1 prefills alone on a warm
+        // chip — the within-batch case would smear the cold stall onto the
+        // sibling through the flow shop.
+        let trace = ArrivalTrace::uniform(2, 1000.0, 16, 4);
+        let warm = serve(&e, &trace, &ServeConfig::default()).unwrap();
+        let cold_config = ServeConfig::default().with_weight_budget(model.total_weight_bytes());
+        let cold = serve(&e, &trace, &cold_config).unwrap();
+        let weights = cold.weights.expect("a weight budget must yield a summary");
+        // One model, one load, no churn; every weight byte crossed DRAM
+        // exactly once and is layer-exact.
+        assert_eq!((weights.models, weights.weight_loads, weights.weight_evictions), (1, 1, 0));
+        assert_eq!(weights.weight_bytes, model.total_weight_bytes());
+        assert_eq!(weights.weight_bytes, model.layer_weight_bytes() * model.layers as u64);
+        assert_eq!(cold.ledger.bytes(TrafficClass::Weights), weights.weight_bytes);
+        assert_eq!(warm.ledger.bytes(TrafficClass::Weights), 0);
+        // Only the session whose step triggered the load is cold; its
+        // sibling in the same first batch finds the weights resident.
+        assert_eq!(weights.cold_requests, 1);
+        let cold_traces: Vec<bool> = cold.traces.iter().map(|t| t.cold_start.unwrap()).collect();
+        assert_eq!(cold_traces.iter().filter(|&&c| c).count(), 1);
+        // The load stalls only the cold session: its TTFT strictly
+        // exceeds the permanently-resident identity's, while the warm
+        // follow-up matches it exactly (the weights are resident by then).
+        assert!(weights.cold_ttft.p50_ms > weights.warm_ttft.p50_ms);
+        assert!(cold.traces[0].ttft_ms() > warm.traces[0].ttft_ms());
+        assert_eq!(cold.traces[1].ttft_ms(), warm.traces[1].ttft_ms());
+        assert!(warm.weights.is_none(), "no budget must serialize no summary");
+    }
+
+    #[test]
+    fn streaming_overlap_lands_between_warm_and_sequential() {
+        let e = engine();
+        let model = presets::tiny_decoder();
+        let trace = ArrivalTrace::uniform(1, 0.0, 16, 4);
+        let warm = serve(&e, &trace, &ServeConfig::default()).unwrap();
+        let budget = ServeConfig::default().with_weight_budget(model.total_weight_bytes());
+        let sequential = serve(&e, &trace, &budget).unwrap();
+        let streamed = serve(&e, &trace, &budget.with_weight_streaming(true)).unwrap();
+        let warm_ttft = warm.traces[0].ttft_ms();
+        let seq_ttft = sequential.traces[0].ttft_ms();
+        let stream_ttft = streamed.traces[0].ttft_ms();
+        assert!(
+            warm_ttft < stream_ttft && stream_ttft < seq_ttft,
+            "overlap must land strictly between warm {warm_ttft} and sequential {seq_ttft}, \
+             got {stream_ttft}"
+        );
+        // Identical bytes moved either way — overlap hides latency, it
+        // does not skip traffic.
+        assert_eq!(
+            streamed.ledger.bytes(TrafficClass::Weights),
+            sequential.ledger.bytes(TrafficClass::Weights)
+        );
+    }
+
+    #[test]
+    fn lru_eviction_churns_two_models_through_a_one_model_budget() {
+        let e = engine();
+        let model = presets::tiny_decoder();
+        let mut trace = ArrivalTrace::uniform(4, 0.0, 16, 4);
+        for (i, r) in trace.requests.iter_mut().enumerate() {
+            *r = r.with_model((i % 2) as u32);
+        }
+        // Room for exactly one model: every model switch re-streams.
+        let config =
+            ServeConfig::default().with_weight_budget(model.total_weight_bytes()).with_max_batch(1);
+        let report = serve(&e, &trace, &config).unwrap();
+        let weights = report.weights.unwrap();
+        assert_eq!(weights.models, 2);
+        assert!(weights.weight_evictions > 0, "a one-model budget must churn");
+        assert_eq!(weights.weight_loads, weights.weight_evictions + 1);
+        // Byte conservation through churn: exactly one model's weights
+        // per load, nothing written back on evict.
+        assert_eq!(weights.weight_bytes, weights.weight_loads * model.total_weight_bytes());
+        assert_eq!(report.ledger.bytes(TrafficClass::Weights), weights.weight_bytes);
     }
 }

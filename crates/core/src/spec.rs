@@ -274,6 +274,26 @@ impl ServeSpecBuilder {
         self
     }
 
+    /// Sets the per-chip weight budget in bytes, turning on the
+    /// weight-residency state machine: chips start cold, model weights
+    /// stream in over DRAM before a step may run, and least-recently-used
+    /// models are evicted when a new model's weights need the space.
+    /// Unset (the default), every chip's one model is permanently
+    /// resident for free.
+    pub fn weight_budget(mut self, bytes: u64) -> Self {
+        self.config = self.config.with_weight_budget(bytes);
+        self
+    }
+
+    /// Overlaps each layer's weight load with the previous layer's
+    /// compute on cold starts (EdgeFlow-style pipelining) instead of
+    /// serializing the full load before the step. Only meaningful with a
+    /// weight budget set.
+    pub fn weight_streaming(mut self, streaming: bool) -> Self {
+        self.config = self.config.with_weight_streaming(streaming);
+        self
+    }
+
     /// Validates the whole combination and finishes the spec.
     ///
     /// # Errors

@@ -38,6 +38,12 @@ pub enum TrafficClass {
     /// store-side traffic (spill-dominated); distinct from the per-step
     /// [`TrafficClass::KvFetch`]/[`TrafficClass::KvStore`] attention traffic.
     KvCache,
+    /// Serving-level model weight residency: streaming a model's weights on
+    /// chip for a cold start (and re-streaming after LRU eviction). Fetch
+    /// side — weights are read-only, so eviction writes nothing back.
+    /// Distinct from the per-step [`TrafficClass::WeightFetch`] re-reads the
+    /// layer pipeline charges while computing.
+    Weights,
 }
 
 impl TrafficClass {
@@ -49,6 +55,7 @@ impl TrafficClass {
                 | TrafficClass::InputFetch
                 | TrafficClass::KvFetch
                 | TrafficClass::IntermediateFetch
+                | TrafficClass::Weights
         )
     }
 
@@ -58,7 +65,7 @@ impl TrafficClass {
     }
 
     /// All classes, for iteration in reports.
-    pub fn all() -> [TrafficClass; 8] {
+    pub fn all() -> [TrafficClass; 9] {
         [
             TrafficClass::WeightFetch,
             TrafficClass::InputFetch,
@@ -68,6 +75,7 @@ impl TrafficClass {
             TrafficClass::OutputStore,
             TrafficClass::KvStore,
             TrafficClass::KvCache,
+            TrafficClass::Weights,
         ]
     }
 }
@@ -256,6 +264,15 @@ impl DramModel {
         }
     }
 
+    /// The single funnel for serving-level model weight streaming: charges
+    /// `bytes` (one layer's worth, typically) under [`TrafficClass::Weights`]
+    /// as one burst-rounded transfer. Mirrors
+    /// [`DramModel::transfer_kv_cache`] so cold-start weight traffic and KV
+    /// residency traffic flow through the same accounted channel.
+    pub fn transfer_weights(&mut self, bytes: u64) -> Cycles {
+        self.transfer(TrafficClass::Weights, bytes)
+    }
+
     /// The accumulated traffic ledger.
     pub fn ledger(&self) -> &TrafficLedger {
         &self.ledger
@@ -341,7 +358,7 @@ mod tests {
         for c in TrafficClass::all() {
             assert!(c.is_fetch() ^ c.is_store());
         }
-        assert_eq!(TrafficClass::all().len(), 8);
+        assert_eq!(TrafficClass::all().len(), 9);
     }
 
     #[test]
@@ -387,6 +404,22 @@ mod tests {
         );
         assert_eq!(funnel.ledger(), direct.ledger());
         assert_eq!(funnel.ledger().bytes(TrafficClass::KvCache), 2000);
+    }
+
+    #[test]
+    fn weights_funnel_matches_the_underlying_transfer() {
+        let mut funnel = dram(12.0);
+        let mut direct = dram(12.0);
+        assert_eq!(
+            funnel.transfer_weights(1 << 16),
+            direct.transfer(TrafficClass::Weights, 1 << 16)
+        );
+        assert_eq!(funnel.ledger(), direct.ledger());
+        assert_eq!(funnel.ledger().bytes(TrafficClass::Weights), 1 << 16);
+        // Weight streaming is fetch-side: read-only data writes nothing back.
+        assert!(TrafficClass::Weights.is_fetch());
+        assert_eq!(funnel.ledger().fetch_bytes(), 1 << 16);
+        assert_eq!(funnel.ledger().store_bytes(), 0);
     }
 
     #[test]

@@ -30,3 +30,13 @@ pub fn requests_from_seed(
             .collect(),
     )
 }
+
+/// Tags the trace's requests with `models` ids round-robin, so every
+/// model appears whenever the trace has at least `models` requests.
+#[allow(dead_code)]
+pub fn spread_models(mut trace: ArrivalTrace, models: u32) -> ArrivalTrace {
+    for (i, r) in trace.requests.iter_mut().enumerate() {
+        *r = r.with_model(i as u32 % models);
+    }
+    trace
+}

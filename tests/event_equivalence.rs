@@ -16,7 +16,7 @@
 
 mod common;
 
-use common::requests_from_seed;
+use common::{requests_from_seed, spread_models};
 use meadow::core::cluster::{
     Colocated, LeastLoadedKv, PrefillDecodeSplit, RoundRobin, SessionAffinity, ToLeastLoaded,
 };
@@ -67,6 +67,24 @@ fn kv_from(idx: u8) -> (KvLayout, KvCompression) {
     }
 }
 
+/// Weight-residency points for the equivalence matrices: the
+/// permanently-resident identity, a sequential-load one-model budget, and
+/// streaming overlap under a one-model budget (the churn-heaviest point
+/// once traces carry multiple models). The trace gets two models
+/// round-robin whenever a budget is set; without one, model ids must stay
+/// 0 (the front door rejects unknown models otherwise).
+fn weights_from(idx: u8, trace: ArrivalTrace, config: ServeConfig) -> (ArrivalTrace, ServeConfig) {
+    let model_bytes = presets::tiny_decoder().total_weight_bytes();
+    match idx % 3 {
+        0 => (trace, config),
+        1 => (spread_models(trace, 2), config.with_weight_budget(model_bytes)),
+        _ => (
+            spread_models(trace, 2),
+            config.with_weight_budget(model_bytes).with_weight_streaming(true),
+        ),
+    }
+}
+
 fn admission_from(idx: u8) -> AdmissionPolicy {
     match idx % 3 {
         0 => AdmissionPolicy::Queue,
@@ -90,6 +108,7 @@ proptest! {
         budget_mult in 1u64..6,
         admission_idx in 0u8..3,
         kv_idx in 0u8..6,
+        weights_idx in 0u8..3,
     ) {
         let engine = engine();
         let trace = requests_from_seed(seed, n, 24, 8, 0.5);
@@ -101,6 +120,7 @@ proptest! {
             .with_admission(admission_from(admission_idx))
             .with_kv_layout(kv_layout)
             .with_kv_compression(kv_compression);
+        let (trace, config) = weights_from(weights_idx, trace, config);
         let run = |core| {
             ServeSpec::builder()
                 .config(config)
@@ -156,6 +176,7 @@ proptest! {
         migrate in any::<bool>(),
         policy_idx in 0u8..3,
         kv_idx in 0u8..6,
+        weights_idx in 0u8..3,
     ) {
         let engine = engine();
         let trace = requests_from_seed(seed, n, 24, 8, 0.5);
@@ -166,6 +187,7 @@ proptest! {
             .with_max_batch(4)
             .with_kv_layout(kv_layout)
             .with_kv_compression(kv_compression);
+        let (trace, config) = weights_from(weights_idx, trace, config);
         let run = |core| {
             let mut builder = ServeSpec::builder().chips(chips).config(config);
             builder = match placement_idx % 3 {

@@ -5,7 +5,7 @@
 
 mod common;
 
-use common::requests_from_seed;
+use common::{requests_from_seed, spread_models};
 use meadow::core::serve::{serve, AdmissionPolicy, KvPolicy, ServeConfig};
 use meadow::core::{EngineConfig, MeadowEngine};
 use meadow::models::presets;
@@ -138,11 +138,12 @@ proptest! {
         policy_idx in 0u8..3,
         shed in any::<bool>(),
         kv_idx in 0u8..4,
+        weights_idx in 0u8..3,
     ) {
         let model = presets::tiny_decoder();
         // Arrivals staggered at tick scale (tens of µs on the tiny model)
         // so the batched path is genuinely exercised.
-        let trace = requests_from_seed(seed, n, 20, 6, 0.01);
+        let mut trace = requests_from_seed(seed, n, 20, 6, 0.01);
         let (kv_layout, kv_compression) = match kv_idx % 4 {
             0 => (KvLayout::Dense, KvCompression::None),
             1 => (KvLayout::GroupedHeads { kv_heads: 2 }, KvCompression::None),
@@ -160,6 +161,15 @@ proptest! {
             .with_kv_compression(kv_compression);
         if shed {
             config = config.with_admission(AdmissionPolicy::RejectAfter { ttft_slo_ms: 0.2 });
+        }
+        // Weight-residency points: off, sequential cold loads, and
+        // streaming overlap — two models churning under a one-model budget
+        // in both budgeted cases.
+        if weights_idx % 3 > 0 {
+            trace = spread_models(trace, 2);
+            config = config
+                .with_weight_budget(model.total_weight_bytes())
+                .with_weight_streaming(weights_idx % 3 == 2);
         }
         if constrained {
             let single_max =

@@ -166,6 +166,61 @@ fn compression_relaxes_the_admission_precheck() {
 }
 
 #[test]
+fn zero_weight_budget_is_rejected_at_build() {
+    let err = build_err(ServeConfig::default().with_weight_budget(0));
+    assert_eq!(err, ServeError::ZeroWeightBudget);
+    assert_eq!(
+        err.to_string(),
+        "a zero weight budget cannot hold any model; leave it unset instead"
+    );
+}
+
+/// A non-zero budget that still cannot hold one model is a constraint
+/// only the engine's model can check, so it surfaces at run time.
+#[test]
+fn weight_budget_smaller_than_one_model_is_rejected_at_run() {
+    let weight_bytes = presets::tiny_decoder().total_weight_bytes();
+    let spec = ServeSpec::builder()
+        .config(ServeConfig::default().with_weight_budget(1))
+        .build()
+        .expect("the structural checks cannot see the model");
+    let err = spec.run(&engine(), &ArrivalTrace::uniform(1, 0.0, 16, 4)).unwrap_err();
+    let CoreError::Serve(err) = err else { panic!("expected a serve error, got {err:?}") };
+    assert_eq!(err, ServeError::WeightBudgetTooSmall { budget_bytes: 1, weight_bytes });
+    assert_eq!(
+        err.to_string(),
+        format!("weight budget 1 cannot hold a single model's {weight_bytes} weight bytes")
+    );
+}
+
+/// Without a weight budget there is no tenancy: the chip serves only its
+/// one permanently-resident model 0, and any other `model_id` is a typed
+/// run-time error rather than a silently ignored tag.
+#[test]
+fn unknown_model_without_a_weight_budget_is_rejected_at_run() {
+    let mut trace = ArrivalTrace::uniform(2, 0.0, 16, 4);
+    trace.requests[1] = trace.requests[1].with_model(3);
+    let spec = ServeSpec::builder().config(ServeConfig::default()).build().unwrap();
+    let err = spec.run(&engine(), &trace).unwrap_err();
+    let CoreError::Serve(err) = err else { panic!("expected a serve error, got {err:?}") };
+    assert_eq!(err, ServeError::UnknownModel { model_id: 3 });
+    assert_eq!(
+        err.to_string(),
+        "request targets model 3 but the chip serves only the resident model 0; set a weight \
+         budget to enable multi-model tenancy"
+    );
+    // The same trace is servable once a budget turns tenancy on.
+    let tenant = ServeSpec::builder()
+        .config(ServeConfig::default())
+        .weight_budget(presets::tiny_decoder().total_weight_bytes())
+        .weight_streaming(true)
+        .build()
+        .unwrap();
+    let report = tenant.run(&engine(), &trace).unwrap().into_single().unwrap();
+    assert_eq!(report.weights.unwrap().models, 2);
+}
+
+#[test]
 fn out_of_range_placement_is_rejected_at_run() {
     #[derive(Debug)]
     struct Wild;

@@ -102,6 +102,35 @@ fn golden_kvcomp_report() -> String {
     report.to_json().unwrap() + "\n"
 }
 
+/// The multi-model scenario: the same trace split across 2 models
+/// churning under a one-model weight budget with streaming overlap, so
+/// cold starts, per-layer load pipelining, LRU model eviction and the
+/// cold/warm TTFT split all land in the snapshot.
+fn golden_multimodel_report() -> String {
+    let engine = MeadowEngine::new(EngineConfig::zcu102(presets::tiny_decoder(), 12.0)).unwrap();
+    let model = presets::tiny_decoder();
+    let mut trace = golden_trace();
+    for (i, r) in trace.requests.iter_mut().enumerate() {
+        *r = r.with_model(i as u32 % 2);
+    }
+    // Room for exactly one model's weights: every model switch evicts the
+    // resident model and re-streams the other.
+    let config = ServeConfig::default()
+        .with_weight_budget(model.total_weight_bytes())
+        .with_weight_streaming(true)
+        .with_max_batch(4);
+    let report = serve(&engine, &trace, &config).unwrap();
+    let weights = report.weights.expect("a budgeted run attaches its weight summary");
+    assert_eq!(weights.models, 2);
+    assert!(weights.weight_evictions > 0, "a one-model budget must churn");
+    assert!(weights.cold_requests > 0, "the scenario must exercise cold starts");
+    assert!(
+        weights.cold_ttft.p50_ms > weights.warm_ttft.p50_ms,
+        "cold starts must cost TTFT in the snapshot"
+    );
+    report.to_json().unwrap() + "\n"
+}
+
 fn assert_byte_stable(name: &str, got: String) {
     let path = golden_path(name);
     if std::env::var_os("MEADOW_UPDATE_GOLDEN").is_some() {
@@ -131,4 +160,9 @@ fn paged_serve_report_is_byte_stable() {
 #[test]
 fn kvcomp_serve_report_is_byte_stable() {
     assert_byte_stable("serve_kvcomp_zcu102.json", golden_kvcomp_report());
+}
+
+#[test]
+fn multimodel_serve_report_is_byte_stable() {
+    assert_byte_stable("serve_multimodel_zcu102.json", golden_multimodel_report());
 }
