@@ -1,0 +1,175 @@
+//! `planner`: the capacity-planning CLI — size the minimal chip fleet
+//! that meets a p95 TTFT SLO on a seed-pinned open-loop workload.
+//!
+//! Wraps [`meadow_core::capacity::CapacityPlanner`] around the same
+//! tiny-decoder workload family the `plan_capacity` repro artifact uses,
+//! with the SLO, search ceiling and trace knobs exposed as flags. Prints
+//! the full [`CapacityPlan`] as JSON (fleet per palette mix, SLO margin,
+//! per-chip utilization and the binary-search probe ladder), so the
+//! output is scriptable; the plan is deterministic for fixed flags.
+//!
+//! [`CapacityPlan`]: meadow_core::capacity::CapacityPlan
+
+use meadow_core::capacity::{CapacityPlanner, PaletteMix, SloTarget};
+use meadow_core::serve::ServeConfig;
+use meadow_core::EngineConfig;
+use meadow_models::presets;
+use meadow_models::workload::{ArrivalTrace, ZipfLengths};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+struct Options {
+    slo_ms: f64,
+    max_rejected: Option<f64>,
+    max_chips: usize,
+    requests: usize,
+    rate: f64,
+    seed: u64,
+    mix: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            slo_ms: 0.1,
+            max_rejected: None,
+            max_chips: 8,
+            requests: 32,
+            rate: 50_000.0,
+            seed: 31337,
+            mix: "all".to_string(),
+        }
+    }
+}
+
+fn print_help() {
+    println!("Usage: planner [OPTIONS]");
+    println!();
+    println!("Sizes the minimal chip fleet whose simulated p95 TTFT meets the SLO,");
+    println!("per palette mix, and prints the CapacityPlan as JSON (fleet, margin,");
+    println!("per-chip utilization, and the probe ladder that pins minimality).");
+    println!();
+    println!("Options:");
+    println!("  --slo-ms <MS>         p95 TTFT target in milliseconds (default 0.1)");
+    println!("  --max-rejected <FRAC> also cap the rejected fraction (default: off)");
+    println!("  --max-chips <N>       fleet-size search ceiling (default 8)");
+    println!("  --requests <N>        open-loop trace length (default 32)");
+    println!("  --rate <REQ_PER_S>    Poisson arrival rate (default 50000)");
+    println!("  --seed <SEED>         trace seed (default 31337)");
+    println!("  --mix <NAME>          palette mix: big, big-little, or all (default all)");
+    println!("  -h, --help            print this help and exit");
+}
+
+fn parse_options(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |flag: &str| it.next().ok_or_else(|| format!("missing value for `{flag}`; see --help"));
+        match arg.as_str() {
+            "--slo-ms" => {
+                opts.slo_ms =
+                    value("--slo-ms")?.parse().map_err(|e| format!("invalid --slo-ms: {e}"))?;
+            }
+            "--max-rejected" => {
+                opts.max_rejected = Some(
+                    value("--max-rejected")?
+                        .parse()
+                        .map_err(|e| format!("invalid --max-rejected: {e}"))?,
+                );
+            }
+            "--max-chips" => {
+                opts.max_chips = value("--max-chips")?
+                    .parse()
+                    .map_err(|e| format!("invalid --max-chips: {e}"))?;
+            }
+            "--requests" => {
+                opts.requests =
+                    value("--requests")?.parse().map_err(|e| format!("invalid --requests: {e}"))?;
+            }
+            "--rate" => {
+                opts.rate = value("--rate")?.parse().map_err(|e| format!("invalid --rate: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--mix" => {
+                opts.mix = value("--mix")?;
+                if !matches!(opts.mix.as_str(), "big" | "big-little" | "all") {
+                    return Err(format!(
+                        "unknown mix `{}`; expected big, big-little, or all",
+                        opts.mix
+                    ));
+                }
+            }
+            other => return Err(format!("unknown option `{other}`; see --help")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    if raw_args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_options(raw_args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = presets::tiny_decoder();
+    // The same length family as the `plan_capacity` repro artifact; the
+    // rate and seed knobs move the load and draw without changing it.
+    let lengths = ZipfLengths {
+        prompt_min: 8,
+        prompt_max: 32,
+        generate_min: 4,
+        generate_max: 16,
+        exponent: 1.1,
+    };
+    let trace = match ArrivalTrace::open_loop(
+        opts.requests,
+        opts.rate,
+        &lengths,
+        &mut StdRng::seed_from_u64(opts.seed),
+    ) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("invalid workload: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let big = EngineConfig::zcu102(model.clone(), 12.0);
+    let little = EngineConfig::zcu102_little(model.clone(), 6.0);
+    let mut mixes = Vec::new();
+    if opts.mix == "big" || opts.mix == "all" {
+        mixes.push(PaletteMix::new("big", vec![big.clone()]));
+    }
+    if opts.mix == "big-little" || opts.mix == "all" {
+        mixes.push(PaletteMix::new("big-little", vec![big, little]));
+    }
+    let slo = SloTarget { p95_ttft_ms: opts.slo_ms, max_rejected_fraction: opts.max_rejected };
+    let planner = CapacityPlanner::new(ServeConfig::default().with_max_batch(2), slo)
+        .max_chips(opts.max_chips);
+    match planner.plan(&trace, &mixes) {
+        Ok(plan) => match plan.to_json() {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to serialize plan: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -45,6 +45,8 @@ const GENERATORS: &[(&str, Generator)] = &[
     ("serve_cluster", figs_serve::serve_cluster_artifact),
     ("serve_disagg", figs_serve::serve_disagg_artifact),
     ("serve_coldstart", figs_serve::serve_coldstart_artifact),
+    ("serve_hetero", figs_serve::serve_hetero_artifact),
+    ("plan_capacity", figs_serve::plan_capacity_artifact),
     ("serve_scale", figs_serve::serve_scale_artifact),
     ("ablation_chunk", ablations::ablation_chunk),
     ("ablation_payload", ablations::ablation_payload),

@@ -10,16 +10,17 @@
 
 use crate::{Artifact, ReproContext};
 use meadow_core::baselines::Baseline;
+use meadow_core::capacity::{CapacityPlanner, PaletteMix, SloTarget};
 use meadow_core::cluster::{
-    ClusterReport, Colocated, DisaggReport, LeastLoadedKv, PrefillDecodeSplit, RoundRobin,
-    SessionAffinity, ToLeastLoaded,
+    ClusterReport, Colocated, DisaggReport, LeastLoadedKv, LeastLoadedWeighted, PrefillDecodeSplit,
+    RoundRobin, SessionAffinity, ToLeastLoaded,
 };
 use meadow_core::report::{fmt_ms, Table};
 use meadow_core::serve::{
     AdmissionPolicy, KvPolicy, SchedulerCore, ServeConfig, ServeReport, SpecDecode,
 };
 use meadow_core::spec::ServeSpec;
-use meadow_core::{CoreError, MeadowEngine};
+use meadow_core::{CoreError, EngineConfig, MeadowEngine};
 use meadow_models::presets;
 use meadow_models::workload::{ArrivalTrace, ServeRequest, ZipfLengths};
 use meadow_models::{KvCompression, KvLayout};
@@ -534,6 +535,276 @@ pub fn serve_cluster_artifact(ctx: &ReproContext) -> Result<Artifact, CoreError>
     })
 }
 
+/// The `serve_hetero` workload: 24 open-loop requests at an arrival rate
+/// that keeps a queue resident on the tiny decoder (steps are tens of
+/// microseconds, so the Poisson rate is scaled to match), plus the shared
+/// per-chip KV budget. The tiny model keeps the artifact fast: every
+/// heterogeneous cluster run builds one engine per chip spec, so the
+/// packing-stat cost scales with fleet size — and the placement contract
+/// this artifact pins is model-independent.
+pub fn serve_hetero_workload() -> (ArrivalTrace, u64) {
+    let model = presets::tiny_decoder();
+    let lengths = ZipfLengths {
+        prompt_min: 8,
+        prompt_max: 32,
+        generate_min: 4,
+        generate_max: 16,
+        exponent: 1.1,
+    };
+    let trace = ArrivalTrace::open_loop(24, 2_000.0, &lengths, &mut StdRng::seed_from_u64(9090))
+        .expect("workload parameters are valid");
+    let total_peak = trace.total_peak_kv_bytes(&model);
+    let single_max = trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap_or(0);
+    let budget = (total_peak / 4).max(single_max);
+    (trace, budget)
+}
+
+/// The two `serve_hetero` fleets, built to equal total compute: three big
+/// chips (96 PEs @ 12 Gbps each) against two big plus two LITTLE chips
+/// (48 PEs @ 6 Gbps each) — 3 × 614.4 GMACs = 2 × 614.4 + 2 × 307.2.
+pub fn serve_hetero_fleets() -> (Vec<EngineConfig>, Vec<EngineConfig>) {
+    let model = presets::tiny_decoder();
+    let big = || EngineConfig::zcu102(model.clone(), 12.0);
+    let little = || EngineConfig::zcu102_little(model.clone(), 6.0);
+    (vec![big(), big(), big()], vec![big(), big(), little(), little()])
+}
+
+/// Runs the heterogeneity workload on one fleet under one placement
+/// (`"round-robin"` or `"least-loaded-weighted"`).
+fn run_hetero(
+    ctx: &ReproContext,
+    trace: &ArrivalTrace,
+    budget: u64,
+    fleet: &[EngineConfig],
+    placement: &str,
+) -> Result<ClusterReport, CoreError> {
+    let engine = ctx.engine(Baseline::Meadow, &presets::tiny_decoder(), 12.0)?;
+    let serve_config = ServeConfig::default()
+        .with_budget(budget)
+        .with_policy(KvPolicy::PagedLru)
+        .with_page_bytes(256)
+        .with_max_batch(2);
+    let builder = ServeSpec::builder().chip_specs(fleet.to_vec()).config(serve_config);
+    let builder = match placement {
+        "round-robin" => builder.placement(RoundRobin),
+        _ => builder.placement(LeastLoadedWeighted),
+    };
+    let spec = builder.build().map_err(CoreError::from)?;
+    Ok(spec.run(&engine, trace)?.into_cluster().expect("chip specs select cluster mode"))
+}
+
+/// `serve_hetero`: heterogeneous big/LITTLE serving — a homogeneous
+/// three-big-chip fleet against a 2 big + 2 LITTLE fleet with the *same
+/// total compute*, under speed-oblivious round-robin and throughput-aware
+/// weighted placement. On the mixed fleet, weighted placement must beat
+/// round-robin on p95 latency: round-robin hands the LITTLE chips as many
+/// sessions as the big ones and the tail forms there.
+///
+/// # Errors
+///
+/// Propagates engine, cluster-construction and serving errors.
+///
+/// # Panics
+///
+/// Panics if weighted placement fails to beat round-robin on the mixed
+/// fleet — that is the contract this artifact exists to demonstrate.
+pub fn serve_hetero_artifact(ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let (trace, budget) = serve_hetero_workload();
+    let (homogeneous, mixed) = serve_hetero_fleets();
+    let runs: [(&str, &[EngineConfig], &str); 4] = [
+        ("3xbig", &homogeneous, "round-robin"),
+        ("3xbig", &homogeneous, "least-loaded-weighted"),
+        ("2big+2little", &mixed, "round-robin"),
+        ("2big+2little", &mixed, "least-loaded-weighted"),
+    ];
+    let mut table = Table::new([
+        "fleet",
+        "placement",
+        "p50_ms",
+        "p95_ms",
+        "tok_per_s",
+        "imbalance",
+        "util_min",
+        "util_max",
+        "evictions",
+    ]);
+    let mut mixed_p95 = (0.0f64, 0.0f64); // (round-robin, weighted)
+    let mut homogeneous_p95 = f64::INFINITY;
+    for (fleet_name, fleet, placement) in runs {
+        let report = run_hetero(ctx, &trace, budget, fleet, placement)?;
+        if fleet_name == "2big+2little" {
+            if placement == "round-robin" {
+                mixed_p95.0 = report.p95_latency_ms;
+            } else {
+                mixed_p95.1 = report.p95_latency_ms;
+            }
+        } else {
+            homogeneous_p95 = homogeneous_p95.min(report.p95_latency_ms);
+        }
+        let utils: Vec<f64> = report.per_chip.iter().filter_map(|c| c.utilization).collect();
+        let util_min = utils.iter().copied().fold(f64::INFINITY, f64::min);
+        let util_max = utils.iter().copied().fold(0.0f64, f64::max);
+        let evictions: u64 = report.per_chip.iter().map(|c| c.report.total_evictions).sum();
+        table.row([
+            fleet_name.to_string(),
+            report.placement.clone(),
+            fmt_ms(report.p50_latency_ms),
+            fmt_ms(report.p95_latency_ms),
+            format!("{:.1}", report.tokens_per_sec),
+            format!("{:.2}", report.kv_imbalance),
+            format!("{util_min:.2}"),
+            format!("{util_max:.2}"),
+            evictions.to_string(),
+        ]);
+    }
+    assert!(
+        mixed_p95.1 < mixed_p95.0,
+        "weighted placement p95 {} must beat round-robin p95 {} on the mixed fleet",
+        mixed_p95.1,
+        mixed_p95.0
+    );
+    Ok(Artifact {
+        id: "serve_hetero",
+        paper_claim: "beyond the paper: big/LITTLE heterogeneous serving — at equal total compute, speed-oblivious round-robin lets the tail form on the slow chips; throughput-weighted placement reclaims it",
+        table,
+        notes: vec![
+            format!(
+                "24 open-loop requests (Poisson 2000 req/s, Zipf lengths), tiny decoder, per-chip budget {:.1} KB; fleets hold total compute fixed (3 x 614.4 GMACs vs 2 x 614.4 + 2 x 307.2)",
+                budget as f64 / KB
+            ),
+            format!(
+                "mixed-fleet p95: round-robin {} vs weighted {} ({:.2}x); best homogeneous p95 {}",
+                fmt_ms(mixed_p95.0),
+                fmt_ms(mixed_p95.1),
+                if mixed_p95.1 > 0.0 { mixed_p95.0 / mixed_p95.1 } else { f64::INFINITY },
+                fmt_ms(homogeneous_p95)
+            ),
+        ],
+    })
+}
+
+/// The `plan_capacity` workload: 32 open-loop requests at a rate that
+/// overloads a single chip, so the SLO ladder genuinely forces fleet
+/// growth. Seed-pinned like every artifact workload.
+pub fn plan_capacity_workload() -> ArrivalTrace {
+    let lengths = ZipfLengths {
+        prompt_min: 8,
+        prompt_max: 32,
+        generate_min: 4,
+        generate_max: 16,
+        exponent: 1.1,
+    };
+    ArrivalTrace::open_loop(32, 50_000.0, &lengths, &mut StdRng::seed_from_u64(31337))
+        .expect("workload parameters are valid")
+}
+
+/// The `plan_capacity` SLO ladder: p95 TTFT targets from tight to loose,
+/// in milliseconds on the tiny decoder's microsecond-scale steps. The
+/// tight point sits between the one-chip and two-chip p95 on the artifact
+/// workload, so it genuinely forces fleet growth; the loose point is met
+/// by a single chip.
+pub const PLAN_CAPACITY_SLOS: [f64; 2] = [0.1, 0.2];
+
+/// `plan_capacity`: the capacity planner sizing the minimal fleet for
+/// each point of an SLO ladder, over a homogeneous big-chip palette and a
+/// big/LITTLE mix. Every row re-asserts the planner's minimality contract
+/// in the artifact itself: the chosen fleet meets the SLO and the
+/// fleet-minus-one probe on its ladder misses it.
+///
+/// # Errors
+///
+/// Propagates engine, planner and serving errors.
+///
+/// # Panics
+///
+/// Panics if a plan violates the minimality contract, or if the tight SLO
+/// point fails to require a larger fleet than the loose one — those are
+/// the properties this artifact exists to demonstrate.
+pub fn plan_capacity_artifact(_ctx: &ReproContext) -> Result<Artifact, CoreError> {
+    let model = presets::tiny_decoder();
+    let trace = plan_capacity_workload();
+    let mixes = [
+        PaletteMix::new("big", vec![EngineConfig::zcu102(model.clone(), 12.0)]),
+        PaletteMix::new(
+            "big-little",
+            vec![
+                EngineConfig::zcu102(model.clone(), 12.0),
+                EngineConfig::zcu102_little(model.clone(), 6.0),
+            ],
+        ),
+    ];
+    let mut table = Table::new([
+        "slo_p95_ttft_ms",
+        "mix",
+        "chips",
+        "fleet",
+        "p95_ttft_ms",
+        "margin_ms",
+        "rejected_frac",
+        "probes",
+    ]);
+    let mut chips_at = Vec::new(); // (slo, minimal chips across mixes)
+    for slo_ms in PLAN_CAPACITY_SLOS {
+        let slo = SloTarget { p95_ttft_ms: slo_ms, max_rejected_fraction: None };
+        let planner =
+            CapacityPlanner::new(ServeConfig::default().with_max_batch(2), slo).max_chips(8);
+        let plan = planner.plan(&trace, &mixes)?;
+        let mut min_chips = usize::MAX;
+        for mix_plan in &plan.plans {
+            assert!(
+                mix_plan.p95_ttft_ms <= slo_ms,
+                "plan for {} at SLO {slo_ms} ms misses it: p95 {} ms",
+                mix_plan.mix,
+                mix_plan.p95_ttft_ms
+            );
+            if mix_plan.chips > 1 {
+                let below = mix_plan
+                    .probes
+                    .iter()
+                    .find(|p| p.chips == mix_plan.chips - 1)
+                    .expect("the ladder records the fleet-minus-one probe");
+                assert!(
+                    !below.meets_slo,
+                    "fleet-minus-one ({} chips of {}) must miss SLO {slo_ms} ms",
+                    below.chips, mix_plan.mix
+                );
+            }
+            min_chips = min_chips.min(mix_plan.chips);
+            table.row([
+                format!("{slo_ms:.1}"),
+                mix_plan.mix.clone(),
+                mix_plan.chips.to_string(),
+                mix_plan.fleet.join("+"),
+                fmt_ms(mix_plan.p95_ttft_ms),
+                fmt_ms(mix_plan.slo_margin_ms),
+                format!("{:.2}", mix_plan.rejected_fraction),
+                mix_plan.probes.len().to_string(),
+            ]);
+        }
+        chips_at.push((slo_ms, min_chips));
+    }
+    let (tight, loose) = (chips_at[0].1, chips_at[chips_at.len() - 1].1);
+    assert!(
+        tight > loose,
+        "the tight SLO point must need a larger fleet: {tight} chips !> {loose}"
+    );
+    Ok(Artifact {
+        id: "plan_capacity",
+        paper_claim: "beyond the paper: SLO-driven capacity planning — binary-search the minimal chip fleet whose simulated p95 TTFT meets each SLO point, with the fleet-minus-one probe pinning minimality",
+        table,
+        notes: vec![
+            "32 open-loop requests (Poisson 50000 req/s, Zipf lengths), tiny decoder, batch cap 2, weighted placement; planner caps the search at 8 chips".to_string(),
+            format!(
+                "minimal fleet: {} chips at the {:.1} ms SLO vs {} at {:.1} ms — every row's ladder shows fleet-minus-one missing",
+                tight,
+                chips_at[0].0,
+                loose,
+                chips_at[chips_at.len() - 1].0
+            ),
+        ],
+    })
+}
+
 /// The `serve_disagg` workload: 24 open-loop requests under *heavy*
 /// Poisson load (150 req/s — arrivals far outpace service) with
 /// decode-heavy Zipf lengths (every request generates at least 96
@@ -1010,6 +1281,75 @@ mod tests {
         );
         // Both serve every token either way.
         assert_eq!(migrated.total_generated_tokens, sticky.total_generated_tokens);
+    }
+
+    #[test]
+    fn serve_hetero_artifact_generates() {
+        let ctx = ReproContext::new();
+        let artifact = serve_hetero_artifact(&ctx).unwrap();
+        assert_eq!(artifact.id, "serve_hetero");
+        // 2 fleets × 2 placements.
+        assert_eq!(artifact.table.len(), 4);
+        let csv = artifact.table.to_csv();
+        assert!(csv.starts_with("fleet,placement,"));
+        assert!(csv.contains("2big+2little") && csv.contains("least-loaded-weighted"));
+    }
+
+    /// Acceptance criterion: on the mixed big/LITTLE fleet,
+    /// throughput-weighted placement strictly beats speed-oblivious
+    /// round-robin on p95 latency, and both runs serve every token.
+    #[test]
+    fn weighted_placement_beats_round_robin_on_the_mixed_fleet() {
+        let ctx = ReproContext::new();
+        let (trace, budget) = serve_hetero_workload();
+        let (_, mixed) = serve_hetero_fleets();
+        let oblivious = run_hetero(&ctx, &trace, budget, &mixed, "round-robin").unwrap();
+        let weighted = run_hetero(&ctx, &trace, budget, &mixed, "least-loaded-weighted").unwrap();
+        assert!(
+            weighted.p95_latency_ms < oblivious.p95_latency_ms,
+            "weighted p95 {} !< round-robin p95 {}",
+            weighted.p95_latency_ms,
+            oblivious.p95_latency_ms
+        );
+        assert_eq!(weighted.total_generated_tokens, oblivious.total_generated_tokens);
+        // The hetero path reports per-chip utilization.
+        for report in [&oblivious, &weighted] {
+            for chip in &report.per_chip {
+                let util = chip.utilization.expect("hetero runs attach utilization");
+                assert!((0.0..=1.0).contains(&util));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_capacity_artifact_generates() {
+        let ctx = ReproContext::new();
+        let artifact = plan_capacity_artifact(&ctx).unwrap();
+        assert_eq!(artifact.id, "plan_capacity");
+        // 2 SLO points × 2 palette mixes.
+        assert_eq!(artifact.table.len(), 4);
+        let csv = artifact.table.to_csv();
+        assert!(csv.starts_with("slo_p95_ttft_ms,mix,"));
+        assert!(csv.contains("big-little") && csv.contains("96pe@12gbps"));
+    }
+
+    /// Acceptance criterion: at the artifact's tight SLO point the planner
+    /// needs more than one chip, the chosen fleet meets the SLO, and the
+    /// ladder's fleet-minus-one probe misses it.
+    #[test]
+    fn capacity_plan_is_minimal_at_the_tight_slo() {
+        let trace = plan_capacity_workload();
+        let slo = SloTarget { p95_ttft_ms: PLAN_CAPACITY_SLOS[0], max_rejected_fraction: None };
+        let planner =
+            CapacityPlanner::new(ServeConfig::default().with_max_batch(2), slo).max_chips(8);
+        let mixes =
+            [PaletteMix::new("big", vec![EngineConfig::zcu102(presets::tiny_decoder(), 12.0)])];
+        let plan = planner.plan(&trace, &mixes).unwrap();
+        let result = &plan.plans[0];
+        assert!(result.chips > 1, "the tight SLO must force fleet growth");
+        assert!(result.p95_ttft_ms <= PLAN_CAPACITY_SLOS[0]);
+        let below = result.probes.iter().find(|p| p.chips == result.chips - 1).unwrap();
+        assert!(!below.meets_slo, "fleet-minus-one must miss the SLO");
     }
 
     #[test]

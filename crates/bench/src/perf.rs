@@ -5,7 +5,8 @@
 //! workspace's hot paths — tiled INT8 GEMM, packing chunk decomposition,
 //! the functional batch forward, the continuous-batching serving
 //! simulator (whole-cache and paged eviction), the multi-model
-//! weight-churn serve, the multi-chip cluster serve and the disaggregated
+//! weight-churn serve, the multi-chip cluster serve, the heterogeneous
+//! big/LITTLE cluster serve and the disaggregated
 //! two-stage serve — serial vs parallel,
 //! with warmup and a fixed number of trials, and reports
 //! median/p95/min/mean per variant as a
@@ -19,7 +20,9 @@
 //! [`find_regressions`] gate remains available via `perfbench --gate
 //! absolute` for same-machine comparisons.
 
-use meadow_core::cluster::{PrefillDecodeSplit, SessionAffinity, ToLeastLoaded};
+use meadow_core::cluster::{
+    LeastLoadedKv, LeastLoadedWeighted, PrefillDecodeSplit, SessionAffinity, ToLeastLoaded,
+};
 use meadow_core::serve::{AdmissionPolicy, KvPolicy, SchedulerCore, ServeConfig, SpecDecode};
 use meadow_core::spec::ServeSpec;
 use meadow_core::{EngineConfig, MeadowEngine};
@@ -379,6 +382,52 @@ fn serve_cluster_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     named_case(format!("serve_cluster_3x{requests}x{generate}"), serial, parallel)
 }
 
+/// The heterogeneous-cluster case: a mixed big/LITTLE fleet served twice.
+/// Like [`serve_1m_case`], the two variants are not serial-vs-parallel
+/// threading: `serial` runs speed-oblivious [`LeastLoadedKv`] placement
+/// and `parallel` runs throughput-aware [`LeastLoadedWeighted`] on the
+/// same fleet and engine, so the committed baseline ratio pins the cost
+/// of the weighted scoring (the integer cross-multiply per placement) at
+/// parity — the gate fails if weighting ever makes placement itself a
+/// bottleneck.
+fn serve_hetero_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
+    let (requests, generate) = if opts.quick { (6, 5) } else { (12, 8) };
+    let model = presets::tiny_decoder();
+    let trace = ArrivalTrace::uniform(requests, 0.01, 16, generate);
+    let budget = (2 * trace.total_peak_kv_bytes(&model) / (3 * requests as u64))
+        .max(trace.requests[0].peak_kv_bytes(&model));
+    let serve_config = ServeConfig::default()
+        .with_budget(budget)
+        .with_policy(KvPolicy::PagedLru)
+        .with_page_bytes(256)
+        .with_max_batch(2);
+    let specs = vec![
+        EngineConfig::zcu102(model.clone(), 12.0),
+        EngineConfig::zcu102(model.clone(), 12.0),
+        EngineConfig::zcu102_little(model.clone(), 6.0),
+    ];
+    let spec_for = |weighted: bool| {
+        let builder = ServeSpec::builder().chip_specs(specs.clone()).config(serve_config);
+        let builder = if weighted {
+            builder.placement(LeastLoadedWeighted)
+        } else {
+            builder.placement(LeastLoadedKv)
+        };
+        builder.migration(ToLeastLoaded).build().expect("valid spec")
+    };
+    let unweighted = spec_for(false);
+    let weighted = spec_for(true);
+    let engine = MeadowEngine::new(EngineConfig::zcu102(model, 12.0).with_exec(*exec))
+        .expect("valid engine");
+    let serial = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(unweighted.run(&engine, &trace).expect("serve succeeds"));
+    });
+    let parallel = time_trials(opts.warmup, opts.trials, || {
+        std::hint::black_box(weighted.run(&engine, &trace).expect("serve succeeds"));
+    });
+    named_case(format!("serve_hetero_3x{requests}x{generate}"), serial, parallel)
+}
+
 fn serve_disagg_case(opts: &PerfOptions, exec: &ExecConfig) -> BenchCase {
     let (requests, generate) = if opts.quick { (6, 5) } else { (12, 8) };
     let model = presets::tiny_decoder();
@@ -486,6 +535,7 @@ pub fn run_suite(bench_id: &str, opts: &PerfOptions) -> BenchReport {
         serve_kvcomp_case(opts, &exec),
         serve_multimodel_case(opts, &exec),
         serve_cluster_case(opts, &exec),
+        serve_hetero_case(opts, &exec),
         serve_disagg_case(opts, &exec),
         serve_1m_case(opts, &exec),
     ];
@@ -638,7 +688,7 @@ mod tests {
     fn suite_emits_versioned_round_trippable_json() {
         let report = run_suite("test", &quick_opts());
         assert_eq!(report.schema_version, SCHEMA_VERSION);
-        assert_eq!(report.cases.len(), 10);
+        assert_eq!(report.cases.len(), 11);
         assert!(report.cases.iter().all(|c| c.speedup > 0.0));
         assert_eq!(report.file_name(), "BENCH_test.json");
         let json = report.to_json().unwrap();
@@ -658,7 +708,7 @@ mod tests {
         assert_eq!(tree.get("threads").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(tree.get("quick").and_then(|v| v.as_bool()), Some(true));
         let cases = tree.get("cases").and_then(|v| v.as_seq()).unwrap();
-        assert_eq!(cases.len(), 10);
+        assert_eq!(cases.len(), 11);
         for case in cases {
             assert!(case.get("name").and_then(|v| v.as_str()).is_some());
             for variant in ["serial", "parallel"] {

@@ -75,6 +75,7 @@
 //! # }
 //! ```
 
+use crate::engine::EngineConfig;
 use crate::error::CoreError;
 use crate::serve::{
     kv_sizer, serve_on_chip, KvSummary, LatencySummary, SchedulerCore, ServeConfig, ServeError,
@@ -106,6 +107,33 @@ pub struct ChipLoad {
     /// The chip's KV budget (`None` = unbounded), for policies that place
     /// by headroom.
     pub kv_budget_bytes: Option<u64>,
+    /// The chip's analytical throughput score in milli-units
+    /// ([`throughput_score_milli`]), for speed-aware policies on
+    /// heterogeneous fleets. Every chip of a homogeneous (replica) cluster
+    /// carries the same score.
+    pub throughput_score_milli: u64,
+}
+
+/// Analytical throughput score of one chip spec, in milli-units: the
+/// harmonic mean of the chip's peak compute rate
+/// ([`ChipConfig::peak_gmacs_per_sec`](meadow_sim::ChipConfig)) and its
+/// DRAM bandwidth in GB/s (`bandwidth_gbps / 8`), scaled by 1000 and
+/// rounded to an integer so speed-aware placement can compare weighted
+/// loads in exact integer arithmetic (`kv_a * score_b` vs `kv_b *
+/// score_a`) — no float rounding can break the degeneracy contract that
+/// equal scores reduce to [`LeastLoadedKv`]'s ordering.
+///
+/// The harmonic mean is the roofline-flavored choice: a chip is only as
+/// fast as the slower of its compute and memory sides lets it be, and the
+/// harmonic mean penalizes an unbalanced spec accordingly. The score is a
+/// unitless *relative* rating (never zero — clamped to at least 1), not a
+/// tokens/sec prediction; the capacity planner uses real simulation probes
+/// for that.
+pub fn throughput_score_milli(config: &EngineConfig) -> u64 {
+    let compute = config.chip.peak_gmacs_per_sec();
+    let memory_gbs = config.bandwidth_gbps / 8.0;
+    let harmonic = 2.0 * compute * memory_gbs / (compute + memory_gbs);
+    ((harmonic * 1000.0).round() as u64).max(1)
 }
 
 /// Routes each arriving request to a chip.
@@ -143,6 +171,7 @@ pub struct ChipLoad {
 ///         assigned_requests: 0,
 ///         assigned_peak_kv_bytes: 0,
 ///         kv_budget_bytes: None,
+///         throughput_score_milli: 1000,
 ///     })
 ///     .collect();
 /// assert_eq!(PinToLast.place(0, &ServeRequest::new(0, 0.0, 16, 8), &loads), 3);
@@ -182,6 +211,40 @@ impl PlacementPolicy for LeastLoadedKv {
 
     fn place(&self, _seq: usize, _request: &ServeRequest, loads: &[ChipLoad]) -> usize {
         loads.iter().min_by_key(|l| (l.assigned_peak_kv_bytes, l.chip)).map(|l| l.chip).unwrap_or(0)
+    }
+}
+
+/// Speed-aware least-loaded placement for heterogeneous fleets: route to
+/// the chip with the smallest assigned peak-KV demand *normalized by its
+/// analytical throughput score* ([`throughput_score_milli`]), so a chip
+/// that is twice as fast absorbs twice the demand before it looks as
+/// loaded as its slower neighbor. Ties break to the lowest chip index.
+///
+/// The comparison is exact integer arithmetic — `kv_a * score_b` vs
+/// `kv_b * score_a` in `u128` — so on a homogeneous fleet (all scores
+/// equal) it reduces *bit-exactly* to [`LeastLoadedKv`]'s
+/// `(assigned_peak_kv_bytes, chip)` ordering: the degeneracy contract the
+/// equivalence suites pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastLoadedWeighted;
+
+impl PlacementPolicy for LeastLoadedWeighted {
+    fn name(&self) -> &'static str {
+        "least-loaded-weighted"
+    }
+
+    fn place(&self, _seq: usize, _request: &ServeRequest, loads: &[ChipLoad]) -> usize {
+        loads
+            .iter()
+            .min_by(|a, b| {
+                let wa =
+                    u128::from(a.assigned_peak_kv_bytes) * u128::from(b.throughput_score_milli);
+                let wb =
+                    u128::from(b.assigned_peak_kv_bytes) * u128::from(a.throughput_score_milli);
+                wa.cmp(&wb).then(a.chip.cmp(&b.chip))
+            })
+            .map(|l| l.chip)
+            .unwrap_or(0)
     }
 }
 
@@ -533,6 +596,15 @@ pub struct ClusterConfig {
     phase_placement: Box<dyn PhasePlacement>,
     noc: NocConfig,
     scheduler: SchedulerCore,
+    /// Per-chip engine specs of a heterogeneous cluster (`None` = replica
+    /// cluster of whatever engine the run is given). Validated at build:
+    /// non-empty, every spec constructs a valid engine, and all specs
+    /// share one model architecture.
+    chip_specs: Option<Vec<EngineConfig>>,
+    /// Per-link hop costs of the linear chip interconnect (`link_hops[i]`
+    /// = cost of the link between chips `i` and `i + 1`; `None` = every
+    /// link costs one hop, the historical `|i - j|` distance).
+    link_hops: Option<Vec<u32>>,
 }
 
 impl ClusterConfig {
@@ -577,38 +649,89 @@ impl ClusterConfig {
     pub fn scheduler(&self) -> SchedulerCore {
         self.scheduler
     }
+
+    /// Per-chip engine specs of a heterogeneous cluster, or `None` for a
+    /// replica cluster of the engine handed to [`Cluster::new`].
+    pub fn chip_specs(&self) -> Option<&[EngineConfig]> {
+        self.chip_specs.as_deref()
+    }
+
+    /// Per-link hop costs of the linear interconnect, or `None` when
+    /// every link costs one hop.
+    pub fn link_hops(&self) -> Option<&[u32]> {
+        self.link_hops.as_deref()
+    }
+
+    /// Hop cost between two chips on the linear interconnect: the sum of
+    /// the per-link costs between them, or plain `|a - b|` when no
+    /// per-link costs are configured (the historical uniform distance).
+    pub fn hops_between(&self, a: usize, b: usize) -> u32 {
+        match &self.link_hops {
+            Some(costs) => {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                costs[lo..hi].iter().sum()
+            }
+            None => a.abs_diff(b) as u32,
+        }
+    }
 }
 
 /// Builder for [`ClusterConfig`] — see [`ClusterConfig::builder`].
 #[derive(Debug)]
 pub struct ClusterConfigBuilder {
     chips: usize,
+    chips_set: bool,
     serve: ServeConfig,
     placement: Box<dyn PlacementPolicy>,
     migration: Box<dyn MigrationPolicy>,
     phase_placement: Box<dyn PhasePlacement>,
     noc: NocConfig,
     scheduler: SchedulerCore,
+    chip_specs: Option<Vec<EngineConfig>>,
+    link_hops: Option<Vec<u32>>,
 }
 
 impl Default for ClusterConfigBuilder {
     fn default() -> Self {
         Self {
             chips: 1,
+            chips_set: false,
             serve: ServeConfig::default(),
             placement: Box::new(RoundRobin),
             migration: Box::new(NoMigration),
             phase_placement: Box::new(Colocated),
             noc: NocConfig::default(),
             scheduler: SchedulerCore::default(),
+            chip_specs: None,
+            link_hops: None,
         }
     }
 }
 
 impl ClusterConfigBuilder {
-    /// Sets the number of chips.
+    /// Sets the number of chips (a replica cluster of one engine).
+    /// Mutually exclusive with [`chip_specs`](Self::chip_specs) unless the
+    /// counts agree.
     pub fn chips(mut self, chips: usize) -> Self {
         self.chips = chips;
+        self.chips_set = true;
+        self
+    }
+
+    /// Builds a heterogeneous cluster with one chip per engine spec. The
+    /// cluster's size becomes `specs.len()`; combining this with a
+    /// disagreeing [`chips`](Self::chips) call is rejected at
+    /// [`build`](Self::build).
+    pub fn chip_specs(mut self, specs: Vec<EngineConfig>) -> Self {
+        self.chip_specs = Some(specs);
+        self
+    }
+
+    /// Sets per-link hop costs on the linear interconnect: `hops[i]` is
+    /// the cost of the link between chips `i` and `i + 1`. The vector
+    /// must cover exactly `chips - 1` links.
+    pub fn link_hops(mut self, hops: Vec<u32>) -> Self {
+        self.link_hops = Some(hops);
         self
     }
 
@@ -656,22 +779,61 @@ impl ClusterConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::ZeroChips`] for an empty cluster and
-    /// propagates [`ServeConfig::validate`] rejections (zero `max_batch`,
-    /// zero `page_bytes` under `PagedLru`, invalid SLOs).
+    /// Returns [`ServeError::ZeroChips`] for an empty cluster,
+    /// [`ServeError::EmptyChipSpecs`] /
+    /// [`ServeError::ChipSpecCountMismatch`] /
+    /// [`ServeError::InvalidChipSpec`] for a malformed heterogeneous
+    /// spec list, [`ServeError::InvalidLinkHops`] when per-link hop
+    /// costs don't cover the interconnect, and propagates
+    /// [`ServeConfig::validate`] rejections (zero `max_batch`, zero
+    /// `page_bytes` under `PagedLru`, invalid SLOs).
     pub fn build(self) -> Result<ClusterConfig, ServeError> {
-        if self.chips == 0 {
+        let chips = match &self.chip_specs {
+            Some(specs) => {
+                if specs.is_empty() {
+                    return Err(ServeError::EmptyChipSpecs);
+                }
+                if self.chips_set && self.chips != specs.len() {
+                    return Err(ServeError::ChipSpecCountMismatch {
+                        specs: specs.len(),
+                        chips: self.chips,
+                    });
+                }
+                for (chip, spec) in specs.iter().enumerate() {
+                    MeadowEngine::new(spec.clone())
+                        .map_err(|e| ServeError::InvalidChipSpec { chip, reason: e.to_string() })?;
+                    if spec.model != specs[0].model {
+                        return Err(ServeError::InvalidChipSpec {
+                            chip,
+                            reason: "all chips of a cluster must serve the same model \
+                                     architecture"
+                                .to_string(),
+                        });
+                    }
+                }
+                specs.len()
+            }
+            None => self.chips,
+        };
+        if chips == 0 {
             return Err(ServeError::ZeroChips);
+        }
+        if let Some(hops) = &self.link_hops {
+            if hops.len() != chips - 1 {
+                return Err(ServeError::InvalidLinkHops { got: hops.len(), expected: chips - 1 });
+            }
         }
         self.serve.validate()?;
         Ok(ClusterConfig {
-            chips: self.chips,
+            chips,
             serve: self.serve,
             placement: self.placement,
             migration: self.migration,
             phase_placement: self.phase_placement,
             noc: self.noc,
             scheduler: self.scheduler,
+            chip_specs: self.chip_specs,
+            link_hops: self.link_hops,
         })
     }
 }
@@ -711,6 +873,14 @@ pub struct ChipReport {
     pub assigned_peak_kv_bytes: u64,
     /// Cross-chip migration traffic this chip originated.
     pub migration: MigrationStats,
+    /// Busy fraction of the cluster's makespan this chip spent serving —
+    /// its own makespan over the slowest chip's, so the cluster's
+    /// straggler reads 1.0 and idle chips read toward 0.0. `Some` only on
+    /// heterogeneous ([`ClusterConfigBuilder::chip_specs`]) runs and
+    /// omitted from the serialized JSON otherwise, so pre-existing
+    /// replica-cluster goldens stay byte-stable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub utilization: Option<f64>,
     /// The chip's full single-chip serving report.
     pub report: ServeReport,
 }
@@ -924,7 +1094,11 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Builds a cluster of `config.chips()` replicas of `engine`.
+    /// Builds a cluster of `config.chips()` replicas of `engine` — or,
+    /// when the configuration carries
+    /// [`chip_specs`](ClusterConfigBuilder::chip_specs), one
+    /// [`ChipNode`] per spec (heterogeneous fleet); `engine` then only
+    /// supplies the thread budget below.
     ///
     /// The engine's thread budget is split between the two nested
     /// fan-outs: the chip fan-out keeps the full [`ExecConfig`] (it is
@@ -945,9 +1119,21 @@ impl Cluster {
         let threads = exec.threads().max(1);
         let concurrent_chips = config.chips.clamp(1, threads);
         let inner = ExecConfig::with_threads((threads / concurrent_chips).max(1));
-        let nodes = (0..config.chips)
-            .map(|chip| ChipNode { chip, engine: engine.clone().with_exec(inner) })
-            .collect();
+        let nodes = match config.chip_specs() {
+            Some(specs) => specs
+                .iter()
+                .enumerate()
+                .map(|(chip, spec)| ChipNode {
+                    chip,
+                    engine: MeadowEngine::new(spec.clone())
+                        .expect("chip specs are validated at ClusterConfigBuilder::build")
+                        .with_exec(inner),
+                })
+                .collect(),
+            None => (0..config.chips)
+                .map(|chip| ChipNode { chip, engine: engine.clone().with_exec(inner) })
+                .collect(),
+        };
         Self { nodes, config, exec }
     }
 
@@ -1039,6 +1225,7 @@ impl Cluster {
                 assigned_requests: 0,
                 assigned_peak_kv_bytes: 0,
                 kv_budget_bytes: self.config.serve.kv_budget_bytes,
+                throughput_score_milli: throughput_score_milli(self.nodes[chip].engine.config()),
             })
             .collect();
         let mut assignment = vec![0usize; trace.requests.len()];
@@ -1097,7 +1284,8 @@ impl Cluster {
                         }
                     })
                     .collect();
-                let hops: Vec<u32> = (0..chips).map(|j| chip.abs_diff(j) as u32).collect();
+                let hops: Vec<u32> =
+                    (0..chips).map(|j| self.config.hops_between(chip, j)).collect();
                 let mut ctx = MigrationCtx::new(
                     self.config.migration.as_ref(),
                     chip,
@@ -1192,8 +1380,16 @@ impl Cluster {
                 assigned_requests: loads[chip].assigned_requests,
                 assigned_peak_kv_bytes: loads[chip].assigned_peak_kv_bytes,
                 migration,
+                utilization: None,
                 report,
             });
+        }
+        // Per-chip utilization only materializes on heterogeneous runs —
+        // replica-cluster reports (and their goldens) stay byte-stable.
+        if self.config.chip_specs().is_some() && makespan > 0.0 {
+            for chip_report in &mut per_chip {
+                chip_report.utilization = Some(chip_report.report.makespan_ms / makespan);
+            }
         }
         let kv = kv_acc.map(|mut acc| {
             acc.retained_attention_mass = if acc.dense_final_kv_bytes == 0 {
@@ -1308,6 +1504,9 @@ impl Cluster {
                     assigned_requests: 0,
                     assigned_peak_kv_bytes: 0,
                     kv_budget_bytes: self.config.serve.kv_budget_bytes,
+                    throughput_score_milli: throughput_score_milli(
+                        self.nodes[chip].engine.config(),
+                    ),
                 })
                 .collect()
         };
@@ -1395,7 +1594,7 @@ impl Cluster {
                 continue;
             }
             let bytes = sizer.bytes(request.prompt_tokens);
-            let hops = pa.prefill_chip.abs_diff(pa.decode_chip) as u32;
+            let hops = self.config.hops_between(pa.prefill_chip, pa.decode_chip);
             let ms = clock.to_ms(noc.transfer_hops(bytes, hops));
             handoffs += 1;
             handoff_bytes += bytes;
@@ -1560,6 +1759,7 @@ mod tests {
                 assigned_requests: 1,
                 assigned_peak_kv_bytes: kv,
                 kv_budget_bytes: Some(200),
+                throughput_score_milli: 1000,
             })
             .collect();
         let req = ServeRequest::new(9, 0.0, 16, 8);
@@ -1775,6 +1975,7 @@ mod tests {
                 assigned_requests: 0,
                 assigned_peak_kv_bytes: 0,
                 kv_budget_bytes: None,
+                throughput_score_milli: 1000,
             })
             .collect();
         let req = ServeRequest::new(0, 0.0, 16, 8);

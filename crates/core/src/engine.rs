@@ -49,6 +49,13 @@ impl EngineConfig {
         }
     }
 
+    /// Full MEADOW on the LITTLE sibling of the big/LITTLE palette
+    /// ([`ChipConfig::zcu102_little`]: half the ZCU102's PEs) — the slow
+    /// chip of the heterogeneous-cluster artifacts.
+    pub fn zcu102_little(model: TransformerConfig, bandwidth_gbps: f64) -> Self {
+        Self { chip: ChipConfig::zcu102_little(), ..Self::zcu102(model, bandwidth_gbps) }
+    }
+
     /// Returns the same configuration with a different execution policy.
     pub fn with_exec(self, exec: ExecConfig) -> Self {
         Self { exec, ..self }

@@ -160,6 +160,15 @@ impl ReadyOrder {
 /// at 1). Results — including errors — are cached verbatim: the underlying
 /// measurement is a pure function of the key, so replaying a cached result
 /// is bit-identical to re-measuring.
+///
+/// The key deliberately omits the chip: a cache lives and dies inside one
+/// `serve_on_chip_event` call, so it is private to one chip's engine.
+/// That per-chip scoping is load-bearing for heterogeneous clusters
+/// ([`ClusterConfigBuilder::chip_specs`](crate::cluster::ClusterConfigBuilder::chip_specs)):
+/// the same `(prompt_tokens, token_index)` shape measures differently on
+/// a big chip than on a LITTLE one, so a cache shared across chips would
+/// silently serve one chip's latencies to another. Never hoist this memo
+/// above the per-chip serving loop.
 #[derive(Debug, Default)]
 pub(crate) struct StepCache {
     cache: HashMap<(usize, usize), Result<LatencyReport, CoreError>>,

@@ -22,6 +22,9 @@
 //!   [`MigrationPolicy`]-driven cross-chip KV migration charged on the
 //!   NoC model, and [`PhasePlacement`]-driven prefill/decode
 //!   disaggregation with the prompt-KV handoff charged per hop.
+//! * [`capacity`] — the capacity planner: binary-search the minimal chip
+//!   fleet (per candidate palette mix) that meets a p95-TTFT/rejection
+//!   SLO for a workload, each probe a deterministic [`ServeSpec`] run.
 //! * [`kv_pages`] — the paged KV-cache allocator behind
 //!   [`serve::KvPolicy::PagedLru`]: fixed-size pages, a free list,
 //!   per-session page tables and page-LRU victim metadata.
@@ -36,6 +39,7 @@
 
 pub mod accuracy;
 pub mod baselines;
+pub mod capacity;
 pub mod cluster;
 pub mod engine;
 pub mod error;
@@ -49,10 +53,12 @@ pub mod session;
 pub mod spec;
 pub mod vit;
 
+pub use capacity::{CapacityPlan, CapacityPlanner, MixPlan, PaletteMix, ProbePoint, SloTarget};
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterReport, Colocated, DisaggReport, HandoffStats, LeastLoadedKv,
-    MigrationPolicy, NoMigration, PhaseAssignment, PhasePlacement, PlacementPolicy,
-    PrefillDecodeSplit, RequestSummary, RoundRobin, SessionAffinity, ToLeastLoaded,
+    throughput_score_milli, Cluster, ClusterConfig, ClusterReport, Colocated, DisaggReport,
+    HandoffStats, LeastLoadedKv, LeastLoadedWeighted, MigrationPolicy, NoMigration,
+    PhaseAssignment, PhasePlacement, PlacementPolicy, PrefillDecodeSplit, RequestSummary,
+    RoundRobin, SessionAffinity, ToLeastLoaded,
 };
 pub use engine::{EngineConfig, LatencyReport, MeadowEngine};
 pub use error::CoreError;

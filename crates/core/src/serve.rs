@@ -173,6 +173,46 @@ pub enum ServeError {
         /// The model id the request asked for.
         model_id: u32,
     },
+    /// `chip_specs` was given an empty list: a heterogeneous cluster still
+    /// needs at least one chip spec.
+    EmptyChipSpecs,
+    /// Both `chip_specs` and `chips(n)` were set with disagreeing counts —
+    /// the two are mutually exclusive ways of sizing the cluster.
+    ChipSpecCountMismatch {
+        /// Number of per-chip engine specs.
+        specs: usize,
+        /// The explicitly requested chip count.
+        chips: usize,
+    },
+    /// One per-chip engine spec could not build a valid engine (bad
+    /// bandwidth, invalid chip geometry) or disagrees with the other specs
+    /// on the model architecture (a cluster serves one model; chips differ
+    /// in speed, not in what they run).
+    InvalidChipSpec {
+        /// Index of the offending spec.
+        chip: usize,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Per-link NoC hop costs whose length does not match the cluster's
+    /// linear interconnect (`chips - 1` links between adjacent chips).
+    InvalidLinkHops {
+        /// Number of link costs provided.
+        got: usize,
+        /// Number of links the cluster has.
+        expected: usize,
+    },
+    /// The capacity planner exhausted its chip budget without meeting the
+    /// SLO: even the largest allowed fleet missed the p95 TTFT target (or
+    /// the rejection-rate cap).
+    InfeasibleSlo {
+        /// The p95 TTFT target, in ms.
+        p95_ttft_ms: f64,
+        /// The largest fleet size the planner was allowed to probe.
+        max_chips: usize,
+        /// The best p95 TTFT any probed fleet achieved, in ms.
+        best_p95_ms: f64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -219,6 +259,27 @@ impl fmt::Display for ServeError {
                 f,
                 "request targets model {model_id} but the chip serves only the resident model 0; \
                  set a weight budget to enable multi-model tenancy"
+            ),
+            ServeError::EmptyChipSpecs => {
+                write!(f, "chip_specs needs at least one per-chip engine spec")
+            }
+            ServeError::ChipSpecCountMismatch { specs, chips } => write!(
+                f,
+                "chip_specs lists {specs} chips but chips({chips}) was also set; size the \
+                 cluster with one of them, not both"
+            ),
+            ServeError::InvalidChipSpec { chip, reason } => {
+                write!(f, "chip spec {chip} is invalid: {reason}")
+            }
+            ServeError::InvalidLinkHops { got, expected } => write!(
+                f,
+                "link hop costs cover {got} links but the cluster's linear interconnect has \
+                 {expected}"
+            ),
+            ServeError::InfeasibleSlo { p95_ttft_ms, max_chips, best_p95_ms } => write!(
+                f,
+                "no fleet of up to {max_chips} chips meets p95 TTFT <= {p95_ttft_ms} ms; best \
+                 probed fleet achieved {best_p95_ms} ms"
             ),
         }
     }

@@ -49,6 +49,7 @@
 
 use crate::cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, ClusterReport, DisaggReport};
 use crate::cluster::{MigrationPolicy, PhasePlacement, PlacementPolicy};
+use crate::engine::EngineConfig;
 use crate::error::CoreError;
 use crate::serve::{SchedulerCore, ServeConfig, ServeError, ServeReport, SpecDecode};
 use crate::MeadowEngine;
@@ -185,6 +186,7 @@ pub struct ServeSpecBuilder {
     inner: ClusterConfigBuilder,
     config: ServeConfig,
     chips: usize,
+    chips_set: bool,
     has_phases: bool,
     has_cluster_policy: bool,
 }
@@ -195,6 +197,7 @@ impl Default for ServeSpecBuilder {
             inner: ClusterConfigBuilder::default(),
             config: ServeConfig::default(),
             chips: 1,
+            chips_set: false,
             has_phases: false,
             has_cluster_policy: false,
         }
@@ -206,6 +209,25 @@ impl ServeSpecBuilder {
     /// (unless a phase placement upgrades the run to disaggregated).
     pub fn chips(mut self, chips: usize) -> Self {
         self.chips = chips;
+        self.chips_set = true;
+        self
+    }
+
+    /// Builds a heterogeneous cluster with one chip per engine spec
+    /// (see [`ClusterConfigBuilder::chip_specs`]); the engine handed to
+    /// [`ServeSpec::run`] then only supplies the thread budget and trace
+    /// validation model. More than one spec selects cluster serving, and
+    /// a disagreeing [`chips`](Self::chips) call is rejected at build.
+    pub fn chip_specs(mut self, specs: Vec<EngineConfig>) -> Self {
+        self.has_cluster_policy = self.has_cluster_policy || specs.len() > 1;
+        self.inner = self.inner.chip_specs(specs);
+        self
+    }
+
+    /// Sets per-link hop costs on the cluster's linear interconnect (see
+    /// [`ClusterConfigBuilder::link_hops`]).
+    pub fn link_hops(mut self, hops: Vec<u32>) -> Self {
+        self.inner = self.inner.link_hops(hops);
         self
     }
 
@@ -298,15 +320,23 @@ impl ServeSpecBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::ZeroChips`] for an empty cluster and
-    /// propagates [`ServeConfig::validate`] rejections (zero `max_batch`,
-    /// zero `page_bytes` under `PagedLru`, invalid SLOs or speculation
+    /// Returns [`ServeError::ZeroChips`] for an empty cluster,
+    /// [`ServeError::EmptyChipSpecs`] /
+    /// [`ServeError::ChipSpecCountMismatch`] /
+    /// [`ServeError::InvalidChipSpec`] / [`ServeError::InvalidLinkHops`]
+    /// for malformed heterogeneous configurations, and propagates
+    /// [`ServeConfig::validate`] rejections (zero `max_batch`, zero
+    /// `page_bytes` under `PagedLru`, invalid SLOs or speculation
     /// parameters).
     pub fn build(self) -> Result<ServeSpec, ServeError> {
-        let config = self.inner.chips(self.chips).serve(self.config).build()?;
+        let mut inner = self.inner;
+        if self.chips_set {
+            inner = inner.chips(self.chips);
+        }
+        let config = inner.serve(self.config).build()?;
         let mode = if self.has_phases {
             ServeMode::Disaggregated
-        } else if self.chips > 1 || self.has_cluster_policy {
+        } else if config.chips() > 1 || self.has_cluster_policy {
             ServeMode::Cluster
         } else {
             ServeMode::Single

@@ -73,6 +73,15 @@ impl ChipConfig {
         }
     }
 
+    /// The LITTLE sibling of the big/LITTLE edge palette: half the
+    /// ZCU102's PEs (48, keeping the 7:1 parallel:broadcasting ratio), so
+    /// two LITTLE chips match one big chip's peak compute — the
+    /// equal-total-compute fleets the heterogeneous-cluster artifacts
+    /// compare.
+    pub fn zcu102_little() -> Self {
+        Self::zcu102_with_total_pes(48)
+    }
+
     /// Total PE count.
     pub fn total_pes(&self) -> usize {
         self.parallel_pes + self.broadcasting_pes

@@ -8,8 +8,8 @@ mod common;
 
 use common::requests_from_seed;
 use meadow::core::cluster::{
-    Cluster, ClusterConfig, ClusterReport, LeastLoadedKv, RoundRobin, SessionAffinity,
-    ToLeastLoaded,
+    Cluster, ClusterConfig, ClusterReport, LeastLoadedKv, LeastLoadedWeighted, RoundRobin,
+    SessionAffinity, ToLeastLoaded,
 };
 use meadow::core::serve::{serve, KvPolicy, ServeConfig};
 use meadow::core::{EngineConfig, MeadowEngine};
@@ -243,6 +243,78 @@ proptest! {
             );
         }
     }
+
+    /// Heterogeneity degeneracy: a `chip_specs` list of all-equal specs
+    /// is bit-identical — report and serialized bytes — to the replica
+    /// path `.chips(n)` with the same engine, under every placement.
+    #[test]
+    fn homogeneous_chip_specs_match_the_replica_path_bit_exactly(
+        seed in 0u64..200,
+        n in 1usize..6,
+        chips in 1usize..4,
+        placement_idx in 0u8..3,
+    ) {
+        let trace = staggered_trace(seed, n);
+        let serve_config = ServeConfig::default().with_budget(contended_budget(&trace));
+        let spec = EngineConfig::zcu102(presets::tiny_decoder(), 12.0);
+        let build = |hetero: bool| {
+            let builder = ClusterConfig::builder().serve(serve_config);
+            let builder = if hetero {
+                builder.chip_specs(vec![spec.clone(); chips])
+            } else {
+                builder.chips(chips)
+            };
+            match placement_idx % 3 {
+                0 => builder.placement(RoundRobin),
+                1 => builder.placement(LeastLoadedKv),
+                _ => builder.placement(SessionAffinity),
+            }
+            .build()
+            .unwrap()
+        };
+        let replica = Cluster::new(engine(), build(false)).serve(&trace).unwrap();
+        let mut hetero = Cluster::new(engine(), build(true)).serve(&trace).unwrap();
+        // The spec path additionally reports per-chip utilization; strip
+        // it to compare the shared accounting bit-exactly.
+        for chip in &hetero.per_chip {
+            prop_assert!(chip.utilization.is_some());
+        }
+        for chip in &mut hetero.per_chip {
+            chip.utilization = None;
+        }
+        prop_assert_eq!(&hetero, &replica);
+        prop_assert_eq!(hetero.to_json().unwrap(), replica.to_json().unwrap());
+    }
+
+    /// Placement degeneracy: on a homogeneous fleet every chip's
+    /// throughput score is equal, so `LeastLoadedWeighted` routes exactly
+    /// like `LeastLoadedKv` and the two reports differ only in the
+    /// placement name.
+    #[test]
+    fn weighted_placement_degenerates_to_least_loaded_kv_when_homogeneous(
+        seed in 0u64..200,
+        n in 1usize..6,
+        chips in 1usize..4,
+    ) {
+        let trace = staggered_trace(seed, n);
+        let serve_config = ServeConfig::default().with_budget(contended_budget(&trace));
+        let run = |weighted: bool| {
+            let builder = ClusterConfig::builder().chips(chips).serve(serve_config);
+            let config = if weighted {
+                builder.placement(LeastLoadedWeighted)
+            } else {
+                builder.placement(LeastLoadedKv)
+            }
+            .build()
+            .unwrap();
+            Cluster::new(engine(), config).serve(&trace).unwrap()
+        };
+        let mut weighted = run(true);
+        let kv = run(false);
+        prop_assert_eq!(&weighted.placement, "least-loaded-weighted");
+        weighted.placement = kv.placement.clone();
+        prop_assert_eq!(&weighted, &kv);
+    }
 }
 
 /// The pinned cluster scenario: the serve-golden arrival set with sticky
@@ -302,5 +374,74 @@ fn cluster_report_is_byte_stable() {
         got, want,
         "ClusterReport diverged from the committed snapshot; if the change is intentional, \
          regenerate with MEADOW_UPDATE_GOLDEN=1 cargo test --test cluster_invariants"
+    );
+}
+
+/// The pinned heterogeneous scenario: two fast ZCU102 chips and one
+/// LITTLE chip (half the PEs, half the bandwidth) under the same
+/// constrained paged budget as the replica golden, with weighted
+/// placement skewing load toward the fast chips and NoC migration
+/// parking evicted pages in whoever has headroom — per-chip utilization,
+/// the throughput-score-weighted routing and the migration accounting
+/// all land in the snapshot.
+fn golden_hetero_report() -> ClusterReport {
+    let requests: Vec<ServeRequest> = [
+        (0u32, 0.0f64, 16usize, 8usize),
+        (1, 0.0, 24, 4),
+        (2, 0.01, 8, 6),
+        (3, 0.015, 31, 2),
+        (4, 0.02, 4, 8),
+        (5, 0.03, 12, 5),
+        (6, 0.05, 20, 3),
+        (7, 0.08, 6, 7),
+    ]
+    .into_iter()
+    .map(|(id, arrival, prompt, generate)| ServeRequest::new(id, arrival, prompt, generate))
+    .collect();
+    let trace = ArrivalTrace::new(requests);
+    let serve_config = ServeConfig::default()
+        .with_budget(7168)
+        .with_policy(KvPolicy::PagedLru)
+        .with_page_bytes(256)
+        .with_max_batch(2);
+    let model = presets::tiny_decoder();
+    let config = ClusterConfig::builder()
+        .chip_specs(vec![
+            EngineConfig::zcu102(model.clone(), 12.0),
+            EngineConfig::zcu102(model.clone(), 12.0),
+            EngineConfig::zcu102_little(model, 6.0),
+        ])
+        .serve(serve_config)
+        .placement(LeastLoadedWeighted)
+        .migration(ToLeastLoaded)
+        .build()
+        .unwrap();
+    let report = Cluster::new(engine(), config).serve(&trace).unwrap();
+    assert_eq!(report.chips, 3);
+    assert_eq!(report.placement, "least-loaded-weighted");
+    assert!(report.migration_events > 0, "the hetero golden must exercise migration");
+    for chip in &report.per_chip {
+        let u = chip.utilization.expect("hetero runs report per-chip utilization");
+        assert!((0.0..=1.0).contains(&u));
+    }
+    report
+}
+
+#[test]
+fn hetero_cluster_report_is_byte_stable() {
+    let got = golden_hetero_report().to_json().unwrap() + "\n";
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_hetero_zcu102.json");
+    if std::env::var_os("MEADOW_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "heterogeneous ClusterReport diverged from the committed snapshot; if the change is \
+         intentional, regenerate with MEADOW_UPDATE_GOLDEN=1 cargo test --test cluster_invariants"
     );
 }

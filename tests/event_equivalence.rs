@@ -210,6 +210,50 @@ proptest! {
         prop_assert_eq!(run(SchedulerCore::Event), run(SchedulerCore::Tick));
     }
 
+    /// Heterogeneous cluster serving: per-chip engines differ in PE count
+    /// and bandwidth (big/LITTLE fleet, weighted placement, per-link hop
+    /// costs), and the cores must still agree bit-exactly — the step
+    /// caches are per-chip, so distinct engines can never cross-pollute.
+    #[test]
+    fn hetero_cluster_cores_agree(
+        seed in 0u64..1_000,
+        n in 1usize..24,
+        littles in 1usize..3,
+        migrate in any::<bool>(),
+        policy_idx in 0u8..3,
+        slow_link in any::<bool>(),
+    ) {
+        let engine = engine();
+        let trace = requests_from_seed(seed, n, 24, 8, 0.5);
+        let config = ServeConfig::default()
+            .with_budget(budget_for(&trace, 2))
+            .with_policy(policy_from(policy_idx))
+            .with_max_batch(4);
+        let model = presets::tiny_decoder();
+        let mut specs = vec![EngineConfig::zcu102(model.clone(), 12.0)];
+        specs.extend((0..littles).map(|_| EngineConfig::zcu102_little(model.clone(), 6.0)));
+        let hops = if slow_link { vec![3u32; specs.len() - 1] } else { vec![1; specs.len() - 1] };
+        let run = |core| {
+            let mut builder = ServeSpec::builder()
+                .chip_specs(specs.clone())
+                .link_hops(hops.clone())
+                .config(config)
+                .placement(meadow::core::cluster::LeastLoadedWeighted);
+            if migrate {
+                builder = builder.migration(ToLeastLoaded);
+            }
+            builder
+                .scheduler(core)
+                .build()
+                .unwrap()
+                .run(&engine, &trace)
+                .unwrap()
+                .into_cluster()
+                .unwrap()
+        };
+        prop_assert_eq!(run(SchedulerCore::Event), run(SchedulerCore::Tick));
+    }
+
     /// Disaggregated serving: the NoC-charged prefill→decode handoff and
     /// both phase pools must agree across split shapes.
     #[test]

@@ -198,6 +198,58 @@ proptest! {
         }
     }
 
+    /// Heterogeneous cluster serving is bit-identical across thread
+    /// counts: the per-chip fan-out splits one thread budget among
+    /// *different* engines (big/LITTLE fleet under weighted placement),
+    /// and neither the chip fan-out order nor the inner per-engine
+    /// fan-out may leak into the report.
+    #[test]
+    fn hetero_cluster_report_is_bit_identical_across_threads(
+        seed in 0u64..300,
+        n in 1usize..5,
+        littles in 1usize..3,
+        migrate in any::<bool>(),
+    ) {
+        use meadow::core::cluster::{LeastLoadedWeighted, ToLeastLoaded};
+        use meadow::core::spec::ServeSpec;
+
+        let model = presets::tiny_decoder();
+        let trace = requests_from_seed(seed, n, 20, 6, 0.01);
+        let single_max = trace.requests.iter().map(|r| r.peak_kv_bytes(&model)).max().unwrap();
+        let config = ServeConfig::default()
+            .with_budget(2 * single_max)
+            .with_policy(KvPolicy::PagedLru)
+            .with_page_bytes(256)
+            .with_max_batch(2);
+        let mut specs = vec![EngineConfig::zcu102(model.clone(), 12.0)];
+        specs.extend((0..littles).map(|_| EngineConfig::zcu102_little(model.clone(), 6.0)));
+        let run = |threads: usize| {
+            let engine = MeadowEngine::new(
+                EngineConfig::zcu102(model.clone(), 12.0)
+                    .with_exec(ExecConfig::with_threads(threads)),
+            )
+            .unwrap();
+            let mut builder = ServeSpec::builder()
+                .chip_specs(specs.clone())
+                .config(config)
+                .placement(LeastLoadedWeighted);
+            if migrate {
+                builder = builder.migration(ToLeastLoaded);
+            }
+            builder.build().unwrap().run(&engine, &trace).unwrap().into_cluster().unwrap()
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 8] {
+            let report = run(threads);
+            prop_assert_eq!(&report, &reference, "threads {}", threads);
+            prop_assert_eq!(
+                report.to_json().expect("serializable"),
+                reference.to_json().expect("serializable"),
+                "serialized bytes, threads {}", threads
+            );
+        }
+    }
+
     #[test]
     fn partition_is_a_cover_for_ragged_lengths(len in 0usize..300, parts in 1usize..12) {
         let ranges = partition(len, parts);

@@ -221,6 +221,86 @@ fn unknown_model_without_a_weight_budget_is_rejected_at_run() {
 }
 
 #[test]
+fn empty_chip_specs_are_rejected_at_build() {
+    let err = ServeSpec::builder().chip_specs(vec![]).build().unwrap_err();
+    assert_eq!(err, ServeError::EmptyChipSpecs);
+    assert_eq!(err.to_string(), "chip_specs needs at least one per-chip engine spec");
+}
+
+#[test]
+fn mismatched_chip_specs_and_chips_are_rejected_at_build() {
+    let spec = EngineConfig::zcu102(presets::tiny_decoder(), 12.0);
+    let err =
+        ServeSpec::builder().chips(3).chip_specs(vec![spec.clone(), spec]).build().unwrap_err();
+    assert_eq!(err, ServeError::ChipSpecCountMismatch { specs: 2, chips: 3 });
+    assert_eq!(
+        err.to_string(),
+        "chip_specs lists 2 chips but chips(3) was also set; size the cluster with one of them, \
+         not both"
+    );
+}
+
+#[test]
+fn invalid_chip_spec_is_rejected_at_build() {
+    let good = EngineConfig::zcu102(presets::tiny_decoder(), 12.0);
+    let bad = EngineConfig::zcu102(presets::tiny_decoder(), 0.0);
+    let err = ServeSpec::builder().chip_specs(vec![good, bad]).build().unwrap_err();
+    let ServeError::InvalidChipSpec { chip, .. } = &err else {
+        panic!("expected InvalidChipSpec, got {err:?}");
+    };
+    assert_eq!(*chip, 1);
+    assert!(err.to_string().starts_with("chip spec 1 is invalid: "), "got {err}");
+}
+
+#[test]
+fn mixed_model_chip_specs_are_rejected_at_build() {
+    let a = EngineConfig::zcu102(presets::tiny_decoder(), 12.0);
+    let b = EngineConfig::zcu102(presets::opt_125m(), 12.0);
+    let err = ServeSpec::builder().chip_specs(vec![a, b]).build().unwrap_err();
+    assert_eq!(
+        err,
+        ServeError::InvalidChipSpec {
+            chip: 1,
+            reason: "all chips of a cluster must serve the same model architecture".to_string(),
+        }
+    );
+}
+
+#[test]
+fn wrong_sized_link_hops_are_rejected_at_build() {
+    let err = ServeSpec::builder().chips(3).link_hops(vec![1]).build().unwrap_err();
+    assert_eq!(err, ServeError::InvalidLinkHops { got: 1, expected: 2 });
+    assert_eq!(
+        err.to_string(),
+        "link hop costs cover 1 links but the cluster's linear interconnect has 2"
+    );
+}
+
+#[test]
+fn infeasible_slo_is_a_typed_planner_error() {
+    use meadow::core::capacity::{CapacityPlanner, PaletteMix, SloTarget};
+    let slo = SloTarget { p95_ttft_ms: 0.001, max_rejected_fraction: None };
+    let mix = PaletteMix::new("big", vec![EngineConfig::zcu102(presets::tiny_decoder(), 12.0)]);
+    let err = CapacityPlanner::new(ServeConfig::default(), slo)
+        .max_chips(2)
+        .plan(&ArrivalTrace::uniform(8, 0.0, 16, 4), &[mix])
+        .unwrap_err();
+    let CoreError::Serve(err) = err else { panic!("expected a serve error, got {err:?}") };
+    let ServeError::InfeasibleSlo { p95_ttft_ms, max_chips, best_p95_ms } = &err else {
+        panic!("expected InfeasibleSlo, got {err:?}");
+    };
+    assert_eq!((*p95_ttft_ms, *max_chips), (0.001, 2));
+    assert!(*best_p95_ms > 0.0);
+    assert_eq!(
+        err.to_string(),
+        format!(
+            "no fleet of up to 2 chips meets p95 TTFT <= 0.001 ms; best probed fleet achieved \
+             {best_p95_ms} ms"
+        )
+    );
+}
+
+#[test]
 fn out_of_range_placement_is_rejected_at_run() {
     #[derive(Debug)]
     struct Wild;
